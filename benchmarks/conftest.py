@@ -1,0 +1,10 @@
+"""Pytest configuration for the benchmark harness."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the sibling bench_config module importable when pytest is invoked from
+# the repository root (benchmarks/ is not a package).
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the individual components (proper pytest-benchmark timings).
+
+These complement the table/figure benches: they time the hot paths of the
+library (CFE training epoch, CFE encoding, PCA fit / scoring, pseudo-label
+computation, the static detectors' scoring) so performance regressions are
+visible independently of the experiment harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CNDLossConfig, ContinualFeatureExtractor, compute_pseudo_labels
+from repro.ml import PCA, KMeans
+from repro.novelty import DeepIsolationForest, IsolationForest, LocalOutlierFactor
+
+RNG = np.random.default_rng(0)
+X_TRAIN = RNG.normal(size=(2000, 40))
+X_SCORE = RNG.normal(size=(1000, 40))
+CLEAN_NORMAL = RNG.normal(size=(400, 40))
+
+
+def test_bench_cfe_training_epoch(benchmark):
+    cfe = ContinualFeatureExtractor(
+        40, latent_dim=32, hidden_dims=(128,), epochs=1, random_state=0,
+        loss_config=CNDLossConfig(),
+    )
+    pseudo = RNG.integers(0, 2, X_TRAIN.shape[0])
+    benchmark.pedantic(lambda: cfe.fit_experience(X_TRAIN, pseudo), rounds=3, iterations=1)
+
+
+def test_bench_cfe_encode(benchmark):
+    cfe = ContinualFeatureExtractor(40, latent_dim=32, hidden_dims=(128,), epochs=1, random_state=0)
+    cfe.fit_experience(X_TRAIN[:500], np.zeros(500, dtype=int))
+    result = benchmark(lambda: cfe.encode(X_SCORE))
+    assert result.shape == (X_SCORE.shape[0], 32)
+
+
+def test_bench_pca_fit(benchmark):
+    benchmark(lambda: PCA(n_components=0.95).fit(X_TRAIN))
+
+
+def test_bench_pca_reconstruction_score(benchmark):
+    pca = PCA(n_components=0.95).fit(CLEAN_NORMAL)
+    scores = benchmark(lambda: pca.reconstruction_error(X_SCORE))
+    assert scores.shape == (X_SCORE.shape[0],)
+
+
+def test_bench_kmeans_fit(benchmark):
+    benchmark.pedantic(
+        lambda: KMeans(n_clusters=8, n_init=1, random_state=0).fit(X_TRAIN),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bench_pseudo_label_computation(benchmark):
+    benchmark.pedantic(
+        lambda: compute_pseudo_labels(X_TRAIN, CLEAN_NORMAL, n_clusters=6, random_state=0),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize(
+    "detector_factory",
+    [
+        pytest.param(lambda: LocalOutlierFactor(n_neighbors=20, random_state=0), id="lof"),
+        pytest.param(lambda: IsolationForest(n_estimators=50, random_state=0), id="iforest"),
+        pytest.param(
+            lambda: DeepIsolationForest(
+                n_representations=3, n_estimators_per_representation=10, random_state=0
+            ),
+            id="dif",
+        ),
+    ],
+)
+def test_bench_static_detector_scoring(benchmark, detector_factory):
+    detector = detector_factory().fit(CLEAN_NORMAL)
+    scores = benchmark(lambda: detector.score_samples(X_SCORE))
+    assert scores.shape == (X_SCORE.shape[0],)

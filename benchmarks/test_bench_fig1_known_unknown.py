@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 1 (supervised ML-IDS on known vs. unknown attacks).
+
+The paper's shape to reproduce: every supervised model scores high on attack
+families it was trained on and drops sharply on families it has never seen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from bench_config import fig1_config, record
+
+from repro.experiments import format_fig1, run_fig1
+
+
+def test_bench_fig1_known_unknown(benchmark):
+    config = fig1_config()
+    rows = benchmark.pedantic(lambda: run_fig1(config), rounds=1, iterations=1)
+    record("fig1_known_unknown", format_fig1(rows))
+
+    known = np.array([row["known_accuracy"] for row in rows])
+    unknown = np.array([row["unknown_accuracy"] for row in rows])
+    # Shape check: on average the supervised models lose accuracy on unknown
+    # attacks (the motivating observation of the paper).
+    assert known.mean() > unknown.mean()
+    assert known.mean() > 75.0

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 5 (threshold-free PR-AUC of DIF, PCA, CND-IDS).
+
+Paper shape: CND-IDS has the best PR-AUC, showing the advantage is not an
+artefact of the Best-F thresholding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from bench_config import bench_config, record
+
+from repro.experiments import format_fig5, run_fig5
+
+
+def test_bench_fig5_prauc(benchmark):
+    config = bench_config()
+    rows = benchmark.pedantic(lambda: run_fig5(config), rounds=1, iterations=1)
+    record("fig5_prauc", format_fig5(rows))
+
+    def mean_prauc(method: str) -> float:
+        return float(np.mean([row["mean_prauc"] for row in rows if row["method"] == method]))
+
+    assert mean_prauc("CND-IDS") > mean_prauc("DIF")
+    assert mean_prauc("CND-IDS") > 0.95 * mean_prauc("PCA")

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table I (dataset statistics)."""
+
+from __future__ import annotations
+
+from bench_config import bench_config, record
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_bench_table1_datasets(benchmark):
+    config = bench_config()
+    rows = benchmark.pedantic(lambda: run_table1(config), rounds=1, iterations=1)
+    record("table1_datasets", format_table1(rows))
+
+    assert len(rows) == 4
+    for row in rows:
+        # The generated datasets keep the paper's attack-family counts and the
+        # normal/attack proportions of the reference datasets.
+        assert row["attack_types"] == row["paper_attack_types"]
+        assert row["generated_size"] == row["generated_normal"] + row["generated_attack"]

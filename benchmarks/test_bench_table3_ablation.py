@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table III (ablation of the CND loss components).
+
+Paper shape: removing L_CS lowers AVG; removing L_R and L_CL produces clearly
+negative backward transfer (catastrophic forgetting) even if AVG looks fine.
+"""
+
+from __future__ import annotations
+
+from bench_config import bench_config, record
+
+from repro.experiments import format_table3, run_table3
+
+
+def test_bench_table3_ablation(benchmark):
+    config = bench_config()
+    rows = benchmark.pedantic(lambda: run_table3(config), rounds=1, iterations=1)
+    record("table3_ablation", format_table3(rows))
+
+    by_strategy = {row["strategy"]: row for row in rows}
+    full = by_strategy["CND-IDS"]
+    stripped = by_strategy["CND-IDS (w/o LR and LCL)"]
+    # Removing the continual-learning machinery must not improve retention.
+    assert full["bwd_transfer_pct"] >= stripped["bwd_transfer_pct"] - 2.0
+    assert 0.0 <= full["avg_f1_pct"] <= 100.0

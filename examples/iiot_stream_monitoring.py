@@ -1,0 +1,112 @@
+"""Streaming IIoT monitoring: continual adaptation without labels.
+
+Simulates a deployed industrial-IoT intrusion detector that receives traffic
+in monthly batches ("experiences").  New attack campaigns appear over time.
+Two detectors monitor the stream:
+
+* a **static PCA detector** fitted once on the initial clean traffic and never
+  updated (what the paper calls the non-continual ND baseline), and
+* **CND-IDS**, which refits its continual feature extractor and PCA detector
+  on every unlabeled batch.
+
+Both run fully label-free at detection time (quantile thresholding on the
+clean-normal score distribution), mirroring a realistic deployment where no
+Best-F oracle is available.  The example prints per-batch precision / recall /
+F1 for both detectors, showing how the continual detector keeps up as the
+attack mix shifts.
+
+Run with::
+
+    python examples/iiot_stream_monitoring.py [--dataset wustl_iiot] [--scale 0.004]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.continual import ContinualScenario
+from repro.core import CNDIDS, QuantileThresholding
+from repro.datasets import load_dataset
+from repro.experiments import format_table
+from repro.metrics import classification_report
+from repro.ml import StandardScaler
+from repro.novelty import PCAReconstructionDetector
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="wustl_iiot")
+    parser.add_argument("--scale", type=float, default=0.004)
+    parser.add_argument("--experiences", type=int, default=4)
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--alert-quantile", type=float, default=0.95,
+                        help="quantile of the clean-normal scores used as the alert threshold")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    n_experiences = min(args.experiences, len(dataset.attack_type_names))
+    scenario = ContinualScenario.from_dataset(
+        dataset, n_experiences=n_experiences, seed=args.seed
+    )
+    print(
+        f"monitoring {dataset.name}: {scenario.n_experiences} traffic batches, "
+        f"{scenario.clean_normal.shape[0]} clean-normal flows for calibration"
+    )
+
+    # Static detector: fitted once on the clean normal traffic, never updated.
+    scaler = StandardScaler().fit(scenario.clean_normal)
+    static_detector = PCAReconstructionDetector(
+        n_components=0.95, threshold_quantile=args.alert_quantile
+    ).fit(scaler.transform(scenario.clean_normal))
+
+    # Continual detector: label-free quantile thresholding against N_c scores.
+    cnd = CNDIDS(
+        input_dim=scenario.n_features,
+        epochs=args.epochs,
+        thresholding=QuantileThresholding(quantile=args.alert_quantile),
+        random_state=args.seed,
+    )
+    cnd.setup(scenario.clean_normal)
+
+    rows = []
+    for experience in scenario:
+        # The new batch arrives unlabeled; CND-IDS adapts to it.
+        cnd.fit_experience(experience.X_train)
+
+        cnd_predictions = cnd.predict(experience.X_test)
+        cnd_report = classification_report(experience.y_test, cnd_predictions)
+
+        static_predictions = static_detector.predict(scaler.transform(experience.X_test))
+        static_report = classification_report(experience.y_test, static_predictions)
+
+        rows.append(
+            {
+                "batch": experience.index,
+                "new_attacks": ", ".join(experience.attack_families),
+                "cnd_precision": cnd_report["precision"],
+                "cnd_recall": cnd_report["recall"],
+                "cnd_f1": cnd_report["f1"],
+                "static_f1": static_report["f1"],
+            }
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            title=f"Label-free monitoring (alerts above the {args.alert_quantile:.0%} "
+            "clean-normal score quantile)",
+            precision=3,
+        )
+    )
+    mean_cnd = sum(r["cnd_f1"] for r in rows) / len(rows)
+    mean_static = sum(r["static_f1"] for r in rows) / len(rows)
+    print(f"\nmean F1 across batches: CND-IDS {mean_cnd:.3f} vs. static PCA {mean_static:.3f}")
+
+
+if __name__ == "__main__":
+    main()

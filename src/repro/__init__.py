@@ -1,0 +1,25 @@
+"""CND-IDS reproduction library.
+
+This package reproduces the system described in "CND-IDS: Continual Novelty
+Detection for Intrusion Detection Systems" (DAC 2025).  It is organised as a
+set of substrates (neural networks, classical ML, metrics, datasets, novelty
+detectors, supervised baselines, continual-learning tooling) with the CND-IDS
+algorithm itself built on top (:mod:`repro.core`) and an experiment harness
+(:mod:`repro.experiments`) that regenerates every table and figure of the
+paper's evaluation.
+
+Quickstart
+----------
+>>> from repro.datasets import load_dataset
+>>> from repro.continual import ContinualScenario
+>>> from repro.core import CNDIDS
+>>> dataset = load_dataset("wustl_iiot", scale=0.02, seed=0)
+>>> scenario = ContinualScenario.from_dataset(dataset, n_experiences=2, seed=0)
+>>> model = CNDIDS(input_dim=dataset.n_features, random_state=0)
+>>> result = model.run_scenario(scenario)
+>>> result.avg_f1  # doctest: +SKIP
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,178 @@
+"""Additional continual-learning strategies beyond the paper's two baselines.
+
+The related work the paper cites (Kumar et al., Amalapuram et al.) relies on
+memory-replay continual learning; and any CL study needs the cumulative
+(retrain-on-everything) reference point.  Both are provided here as
+extensions so the comparison benches can position CND-IDS against them:
+
+* :class:`ExperienceReplay` — an autoencoder + K-Means classifier that keeps a
+  bounded reservoir of past samples and mixes them into every new experience's
+  training batch (the classic replay recipe, label-free for training but, like
+  ADCN / LwF, needing a small labeled calibration set to name its clusters).
+* :class:`CumulativeRetraining` — retrains from scratch on the union of all
+  experiences seen so far.  Not a practical deployment (unbounded memory) but
+  the standard upper-bound reference for forgetting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.continual.baselines import _LatentClusterBaseline
+from repro.ml.kmeans import KMeans
+from repro.nn.data import batch_iterator
+from repro.nn.optim import Adam
+
+__all__ = ["ExperienceReplay", "CumulativeRetraining"]
+
+
+class ExperienceReplay(_LatentClusterBaseline):
+    """Reservoir-replay autoencoder + K-Means continual baseline.
+
+    Parameters
+    ----------
+    memory_size:
+        Maximum number of past samples kept in the replay reservoir.
+    replay_fraction:
+        Fraction of each training set (in samples) drawn from the reservoir
+        and appended to the current experience's data.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        *,
+        memory_size: int = 1000,
+        replay_fraction: float = 0.5,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(input_dim, **kwargs)
+        if memory_size < 1:
+            raise ValueError("memory_size must be positive")
+        if not 0.0 <= replay_fraction <= 1.0:
+            raise ValueError("replay_fraction must be in [0, 1]")
+        self.memory_size = memory_size
+        self.replay_fraction = replay_fraction
+        self._memory: np.ndarray | None = None
+        self._n_seen = 0
+
+    # -- reservoir maintenance -------------------------------------------------
+    def _update_memory(self, X_scaled: np.ndarray) -> None:
+        """Reservoir sampling so every seen sample has equal retention probability."""
+        for row in X_scaled:
+            self._n_seen += 1
+            if self._memory is None:
+                self._memory = row[None, :].copy()
+            elif self._memory.shape[0] < self.memory_size:
+                self._memory = np.vstack([self._memory, row])
+            else:
+                slot = int(self._rng.integers(self._n_seen))
+                if slot < self.memory_size:
+                    self._memory[slot] = row
+
+    def _train_autoencoder(self, X_scaled: np.ndarray) -> None:
+        optimizer = Adam(self.autoencoder.parameters(), lr=self.learning_rate)
+        self.autoencoder.train()
+        for _ in range(self.epochs):
+            for (batch,) in batch_iterator(
+                X_scaled, batch_size=self.batch_size, random_state=self._rng
+            ):
+                reconstruction = self.autoencoder(batch)
+                _, grad = self._mse(reconstruction, batch)
+                self.autoencoder.zero_grad()
+                self.autoencoder.backward(grad)
+                optimizer.step()
+        self.autoencoder.eval()
+
+    def fit_experience(
+        self,
+        X_train: np.ndarray,
+        *,
+        calibration_X: np.ndarray | None = None,
+        calibration_y: np.ndarray | None = None,
+    ) -> None:
+        X_scaled = self._prepare(X_train, fit_scaler=True)
+
+        train_data = X_scaled
+        if self._memory is not None and self.replay_fraction > 0.0:
+            n_replay = min(
+                self._memory.shape[0], int(self.replay_fraction * X_scaled.shape[0])
+            )
+            if n_replay > 0:
+                replay_idx = self._rng.choice(self._memory.shape[0], n_replay, replace=False)
+                train_data = np.vstack([X_scaled, self._memory[replay_idx]])
+
+        self._train_autoencoder(train_data)
+        latent = self._encode(train_data)
+        n_clusters = min(self.n_clusters, latent.shape[0])
+        kmeans = KMeans(n_clusters=n_clusters, random_state=self._rng).fit(latent)
+        self.cluster_centers_ = kmeans.cluster_centers_
+        self._label_clusters(calibration_X, calibration_y)
+
+        self._update_memory(X_scaled)
+        self.experience_count += 1
+
+
+class CumulativeRetraining(_LatentClusterBaseline):
+    """Retrain from scratch on all data seen so far (forgetting upper bound).
+
+    Stores every training sample it has seen; at each experience the
+    autoencoder is re-initialised and trained on the union, and the cluster
+    classifier is refitted.  The calibration sets of all past experiences are
+    also accumulated.
+    """
+
+    def __init__(self, input_dim: int, **kwargs: object) -> None:
+        super().__init__(input_dim, **kwargs)
+        self._all_data: list[np.ndarray] = []
+        self._all_calibration_X: list[np.ndarray] = []
+        self._all_calibration_y: list[np.ndarray] = []
+
+    def _train_autoencoder(self, X_scaled: np.ndarray) -> None:
+        # Fresh model every time: cumulative retraining has no forgetting by design.
+        self.autoencoder = type(self.autoencoder)(
+            self.input_dim,
+            latent_dim=self.latent_dim,
+            hidden_dims=self.hidden_dims,
+            random_state=self.random_state,
+        )
+        optimizer = Adam(self.autoencoder.parameters(), lr=self.learning_rate)
+        self.autoencoder.train()
+        for _ in range(self.epochs):
+            for (batch,) in batch_iterator(
+                X_scaled, batch_size=self.batch_size, random_state=self._rng
+            ):
+                reconstruction = self.autoencoder(batch)
+                _, grad = self._mse(reconstruction, batch)
+                self.autoencoder.zero_grad()
+                self.autoencoder.backward(grad)
+                optimizer.step()
+        self.autoencoder.eval()
+
+    def fit_experience(
+        self,
+        X_train: np.ndarray,
+        *,
+        calibration_X: np.ndarray | None = None,
+        calibration_y: np.ndarray | None = None,
+    ) -> None:
+        X_scaled = self._prepare(X_train, fit_scaler=True)
+        self._all_data.append(X_scaled)
+        if calibration_X is not None and calibration_y is not None:
+            self._all_calibration_X.append(np.asarray(calibration_X, dtype=np.float64))
+            self._all_calibration_y.append(np.asarray(calibration_y))
+
+        union = np.vstack(self._all_data)
+        self._train_autoencoder(union)
+        latent = self._encode(union)
+        n_clusters = min(self.n_clusters, latent.shape[0])
+        kmeans = KMeans(n_clusters=n_clusters, random_state=self._rng).fit(latent)
+        self.cluster_centers_ = kmeans.cluster_centers_
+
+        if self._all_calibration_X:
+            self._label_clusters(
+                np.vstack(self._all_calibration_X), np.concatenate(self._all_calibration_y)
+            )
+        else:
+            self._label_clusters(None, None)
+        self.experience_count += 1

@@ -1,0 +1,87 @@
+"""Continual-learning metrics derived from the result matrix ``R_ij``.
+
+``R_ij`` is the score (F1 unless stated otherwise) on the test set of
+experience ``j`` after training on experience ``i``.  Following the paper
+(and Diaz-Rodriguez et al., 2018):
+
+* ``AVG      = sum_{i=j} R_ij / m``                — seen attacks,
+* ``FwdTrans = sum_{j>i} R_ij / (m(m-1)/2)``       — zero-day attacks,
+* ``BwdTrans = sum_i (R_mi - R_ii) / (m(m-1)/2)``  — forgetting (last row vs. diagonal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ResultMatrix", "continual_metrics"]
+
+
+@dataclass
+class ResultMatrix:
+    """Square matrix of per-(training, testing) experience scores."""
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 2 or self.values.shape[0] != self.values.shape[1]:
+            raise ValueError(f"result matrix must be square, got shape {self.values.shape}")
+
+    @classmethod
+    def empty(cls, n_experiences: int) -> "ResultMatrix":
+        """All-NaN matrix to be filled in as the stream is processed."""
+        if n_experiences < 1:
+            raise ValueError("n_experiences must be at least 1")
+        return cls(np.full((n_experiences, n_experiences), np.nan))
+
+    # -- element access -----------------------------------------------------
+    @property
+    def n_experiences(self) -> int:
+        return int(self.values.shape[0])
+
+    def __getitem__(self, key: tuple[int, int]) -> float:
+        return float(self.values[key])
+
+    def __setitem__(self, key: tuple[int, int], value: float) -> None:
+        self.values[key] = float(value)
+
+    # -- metrics ---------------------------------------------------------------
+    def average(self) -> float:
+        """AVG: mean score on the current experience at every training step."""
+        return float(np.nanmean(np.diag(self.values)))
+
+    def forward_transfer(self) -> float:
+        """FwdTrans: mean score on future (unseen) experiences."""
+        m = self.n_experiences
+        if m < 2:
+            return 0.0
+        upper = self.values[np.triu_indices(m, k=1)]
+        denominator = m * (m - 1) / 2
+        return float(np.nansum(upper) / denominator)
+
+    def backward_transfer(self) -> float:
+        """BwdTrans: change on past experiences after training on the final one."""
+        m = self.n_experiences
+        if m < 2:
+            return 0.0
+        final_row = self.values[m - 1, : m - 1]
+        diagonal = np.diag(self.values)[: m - 1]
+        denominator = m * (m - 1) / 2
+        return float(np.nansum(final_row - diagonal) / denominator)
+
+    def summary(self) -> dict[str, float]:
+        """All three continual-learning metrics as a dictionary."""
+        return {
+            "avg": self.average(),
+            "fwd_transfer": self.forward_transfer(),
+            "bwd_transfer": self.backward_transfer(),
+        }
+
+
+def continual_metrics(matrix: np.ndarray | ResultMatrix) -> dict[str, float]:
+    """Compute AVG / FwdTrans / BwdTrans for a result matrix given as an array."""
+    if not isinstance(matrix, ResultMatrix):
+        matrix = ResultMatrix(np.asarray(matrix))
+    return matrix.summary()

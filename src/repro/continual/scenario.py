@@ -1,0 +1,215 @@
+"""Continual-learning data preparation (paper Sec. III-A).
+
+Given a dataset with normal data ``N``, attack data ``A`` and attack classes
+``C``:
+
+1. 10% of the normal data is removed and kept as the *clean normal* set
+   ``N_c`` used to fit the PCA novelty detector.
+2. The remaining data is split across ``m`` experiences.  Each experience
+   receives an equal share (``0.9 * |N| / m``) of the remaining normal data
+   and ``|C| / m`` attack classes unique to that experience.
+3. Every experience is split into an unlabeled training part (``X_train``)
+   and a labeled test part (``X_test``, ``y_test``).
+
+Each experience also carries a small *labeled calibration set* drawn from its
+training split.  CND-IDS never uses it; the UCL baselines (ADCN, LwF) require
+a few labels to map clusters to classes, exactly as the paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.utils.random import check_random_state
+
+__all__ = ["Experience", "ContinualScenario"]
+
+
+@dataclass
+class Experience:
+    """One experience of the continual stream."""
+
+    index: int
+    X_train: np.ndarray
+    X_test: np.ndarray
+    y_test: np.ndarray
+    attack_families: tuple[str, ...]
+    train_attack_fraction: float
+    calibration_X: np.ndarray | None = None
+    calibration_y: np.ndarray | None = None
+
+    @property
+    def n_train(self) -> int:
+        return int(self.X_train.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        return int(self.X_test.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Experience(index={self.index}, n_train={self.n_train}, "
+            f"n_test={self.n_test}, families={list(self.attack_families)})"
+        )
+
+
+@dataclass
+class ContinualScenario:
+    """A full continual-learning scenario: clean normal data plus a list of experiences."""
+
+    dataset_name: str
+    clean_normal: np.ndarray
+    experiences: list[Experience]
+    n_features: int
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_experiences(self) -> int:
+        return len(self.experiences)
+
+    def __iter__(self):
+        return iter(self.experiences)
+
+    def __len__(self) -> int:
+        return len(self.experiences)
+
+    def __getitem__(self, index: int) -> Experience:
+        return self.experiences[index]
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: Dataset,
+        n_experiences: int = 5,
+        *,
+        clean_normal_fraction: float = 0.1,
+        test_fraction: float = 0.3,
+        calibration_size: int = 64,
+        seed: int | np.random.Generator | None = 0,
+    ) -> "ContinualScenario":
+        """Build a scenario following the paper's CL data preparation.
+
+        Parameters
+        ----------
+        dataset:
+            Source dataset (features, binary labels, per-sample attack family).
+        n_experiences:
+            Number of experiences ``m``.
+        clean_normal_fraction:
+            Fraction of normal data reserved as the clean normal set ``N_c``.
+        test_fraction:
+            Fraction of each experience held out as its labeled test split.
+        calibration_size:
+            Size of the small labeled calibration subset attached to each
+            experience (per class, where available) for label-needy baselines.
+        seed:
+            Seed controlling every random split.
+        """
+        if n_experiences < 1:
+            raise ValueError("n_experiences must be at least 1")
+        if not 0.0 < clean_normal_fraction < 1.0:
+            raise ValueError("clean_normal_fraction must be strictly between 0 and 1")
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be strictly between 0 and 1")
+        rng = check_random_state(seed)
+
+        families = dataset.attack_type_names
+        if n_experiences > len(families):
+            raise ValueError(
+                f"n_experiences={n_experiences} exceeds the number of attack families "
+                f"({len(families)}) in dataset {dataset.name!r}"
+            )
+
+        normal_idx = np.flatnonzero(dataset.y == 0)
+        rng.shuffle(normal_idx)
+        n_clean = max(1, int(round(clean_normal_fraction * normal_idx.size)))
+        clean_idx = normal_idx[:n_clean]
+        remaining_normal = normal_idx[n_clean:]
+
+        # Distribute attack families across experiences (|C| / m families each).
+        shuffled_families = list(families)
+        rng.shuffle(shuffled_families)
+        family_groups: list[list[str]] = [[] for _ in range(n_experiences)]
+        for i, family in enumerate(shuffled_families):
+            family_groups[i % n_experiences].append(family)
+
+        # Equal share of the remaining normal data per experience.
+        normal_shares = np.array_split(remaining_normal, n_experiences)
+
+        experiences: list[Experience] = []
+        for exp_index in range(n_experiences):
+            exp_families = tuple(sorted(family_groups[exp_index]))
+            attack_mask = np.isin(dataset.attack_types, exp_families) & (dataset.y == 1)
+            attack_idx = np.flatnonzero(attack_mask)
+            rng.shuffle(attack_idx)
+            exp_idx = np.concatenate([normal_shares[exp_index], attack_idx])
+            rng.shuffle(exp_idx)
+
+            X_exp = dataset.X[exp_idx]
+            y_exp = dataset.y[exp_idx]
+
+            n_test = max(1, int(round(test_fraction * exp_idx.size)))
+            test_slice = slice(0, n_test)
+            train_slice = slice(n_test, None)
+            X_test, y_test = X_exp[test_slice], y_exp[test_slice]
+            X_train, y_train = X_exp[train_slice], y_exp[train_slice]
+
+            calibration_X, calibration_y = _draw_calibration(
+                X_train, y_train, calibration_size, rng
+            )
+            train_attack_fraction = float(y_train.mean()) if y_train.size else 0.0
+            experiences.append(
+                Experience(
+                    index=exp_index,
+                    X_train=X_train,
+                    X_test=X_test,
+                    y_test=y_test,
+                    attack_families=exp_families,
+                    train_attack_fraction=train_attack_fraction,
+                    calibration_X=calibration_X,
+                    calibration_y=calibration_y,
+                )
+            )
+
+        return cls(
+            dataset_name=dataset.name,
+            clean_normal=dataset.X[clean_idx],
+            experiences=experiences,
+            n_features=dataset.n_features,
+            metadata={
+                "n_experiences": n_experiences,
+                "clean_normal_fraction": clean_normal_fraction,
+                "test_fraction": test_fraction,
+                "family_assignment": {
+                    i: list(group) for i, group in enumerate(family_groups)
+                },
+            },
+        )
+
+
+def _draw_calibration(
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    calibration_size: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Small labeled subset (per class) of the training split for label-needy baselines."""
+    if calibration_size <= 0 or X_train.shape[0] == 0:
+        return None, None
+    parts_X: list[np.ndarray] = []
+    parts_y: list[np.ndarray] = []
+    for label in (0, 1):
+        idx = np.flatnonzero(y_train == label)
+        if idx.size == 0:
+            continue
+        take = min(calibration_size, idx.size)
+        chosen = rng.choice(idx, take, replace=False)
+        parts_X.append(X_train[chosen])
+        parts_y.append(np.full(take, label, dtype=np.int64))
+    if not parts_X:
+        return None, None
+    return np.vstack(parts_X), np.concatenate(parts_y)

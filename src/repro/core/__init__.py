@@ -1,0 +1,24 @@
+"""CND-IDS core: the paper's primary contribution.
+
+* :class:`~repro.core.losses.CNDLossConfig` and the pseudo-labelling helper
+  implement the continual novelty-detection loss (Eq. 1-2).
+* :class:`~repro.core.cfe.ContinualFeatureExtractor` is the autoencoder-based
+  feature extractor trained per experience with that loss.
+* :class:`~repro.core.model.CNDIDS` combines the CFE with the PCA
+  reconstruction novelty detector and Best-F thresholding (Algorithm 1).
+"""
+
+from repro.core.cfe import ContinualFeatureExtractor
+from repro.core.losses import CNDLossConfig, compute_pseudo_labels
+from repro.core.model import CNDIDS
+from repro.core.thresholding import BestFThresholding, QuantileThresholding, ThresholdingStrategy
+
+__all__ = [
+    "CNDLossConfig",
+    "compute_pseudo_labels",
+    "ContinualFeatureExtractor",
+    "CNDIDS",
+    "ThresholdingStrategy",
+    "BestFThresholding",
+    "QuantileThresholding",
+]

@@ -1,0 +1,81 @@
+"""Thresholding strategies converting anomaly scores into attack/normal decisions.
+
+The paper uses the Best-F rule (Su et al., KDD 2019): the threshold maximising
+the F1 score on the evaluated batch.  A label-free quantile strategy (relative
+to the clean-normal score distribution) is included for fully unsupervised
+deployments and for the thresholding ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.thresholds import best_f_threshold, quantile_threshold
+
+__all__ = ["ThresholdingStrategy", "BestFThresholding", "QuantileThresholding"]
+
+
+class ThresholdingStrategy:
+    """Interface: map anomaly scores (and optional labels/reference scores) to a threshold."""
+
+    #: Whether the strategy needs ground-truth labels for the evaluated batch.
+    requires_labels: bool = False
+
+    def select(
+        self,
+        scores: np.ndarray,
+        y_true: np.ndarray | None = None,
+        reference_scores: np.ndarray | None = None,
+    ) -> float:
+        """Return the decision threshold ``tau`` (predict attack when ``score > tau``)."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class BestFThresholding(ThresholdingStrategy):
+    """Best-F thresholding: maximise F-beta on the evaluated batch (paper default)."""
+
+    requires_labels = True
+
+    def __init__(self, beta: float = 1.0) -> None:
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.beta = beta
+
+    def select(
+        self,
+        scores: np.ndarray,
+        y_true: np.ndarray | None = None,
+        reference_scores: np.ndarray | None = None,
+    ) -> float:
+        if y_true is None:
+            raise ValueError("BestFThresholding requires ground-truth labels")
+        threshold, _ = best_f_threshold(scores, y_true, beta=self.beta)
+        return threshold
+
+
+class QuantileThresholding(ThresholdingStrategy):
+    """Label-free threshold at a quantile of the clean-normal score distribution.
+
+    When no reference scores are available the quantile of the evaluated batch
+    itself is used.
+    """
+
+    requires_labels = False
+
+    def __init__(self, quantile: float = 0.95) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be strictly between 0 and 1")
+        self.quantile = quantile
+
+    def select(
+        self,
+        scores: np.ndarray,
+        y_true: np.ndarray | None = None,
+        reference_scores: np.ndarray | None = None,
+    ) -> float:
+        basis = reference_scores if reference_scores is not None else scores
+        return quantile_threshold(np.asarray(basis, dtype=np.float64), self.quantile)

@@ -1,0 +1,35 @@
+"""Synthetic intrusion-detection datasets.
+
+The paper evaluates on four public datasets (X-IIoTID, WUSTL-IIoT,
+CICIDS2017, UNSW-NB15).  Those cannot be downloaded in this offline
+environment, so this subpackage provides parametric synthetic generators that
+mimic each dataset's published characteristics: total size, normal/attack
+proportions, number of distinct attack families, feature dimensionality, and
+per-family separability (so that experience splits create genuine zero-day
+conditions).  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.base import AttackFamily, Dataset, DatasetSpec
+from repro.datasets.generator import SyntheticIDSGenerator
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    dataset_summary_table,
+    get_dataset_spec,
+    list_datasets,
+    load_dataset,
+)
+from repro.datasets.streaming import FlowStream, inject_drift
+
+__all__ = [
+    "AttackFamily",
+    "Dataset",
+    "DatasetSpec",
+    "SyntheticIDSGenerator",
+    "load_dataset",
+    "list_datasets",
+    "get_dataset_spec",
+    "dataset_summary_table",
+    "DATASET_NAMES",
+    "FlowStream",
+    "inject_drift",
+]

@@ -1,0 +1,180 @@
+"""Dataset containers and specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AttackFamily", "DatasetSpec", "Dataset"]
+
+NORMAL_LABEL = "normal"
+
+
+@dataclass(frozen=True)
+class AttackFamily:
+    """Description of one attack family in a synthetic dataset.
+
+    Parameters
+    ----------
+    name:
+        Attack family name (mirrors the label names of the real dataset).
+    proportion:
+        Relative share of this family among all attack samples.
+    severity:
+        How far the family deviates from normal behaviour in the latent
+        space; larger values are easier to detect.
+    subspace_leakage:
+        Fraction of the deviation that escapes the normal-data subspace
+        (deviation outside the subspace is what PCA-style detectors see).
+    feature_fraction:
+        Fraction of observed features perturbed by the attack.
+    """
+
+    name: str
+    proportion: float = 1.0
+    severity: float = 2.0
+    subspace_leakage: float = 0.6
+    feature_fraction: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.proportion <= 0:
+            raise ValueError("proportion must be positive")
+        if self.severity < 0:
+            raise ValueError("severity must be non-negative")
+        if not 0.0 <= self.subspace_leakage <= 1.0:
+            raise ValueError("subspace_leakage must be in [0, 1]")
+        if not 0.0 < self.feature_fraction <= 1.0:
+            raise ValueError("feature_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Full specification of a synthetic intrusion dataset.
+
+    ``reference_size`` / ``reference_normal`` / ``reference_attack`` record the
+    sizes reported in the paper's Table I for the real dataset; the generated
+    dataset is ``scale`` times smaller but keeps the same proportions.
+    """
+
+    name: str
+    n_features: int
+    reference_size: int
+    reference_normal: int
+    reference_attack: int
+    attack_families: tuple[AttackFamily, ...]
+    n_normal_modes: int = 4
+    latent_dim: int | None = None
+    noise_level: float = 0.08
+    heavy_tail_fraction: float = 0.15
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_features < 2:
+            raise ValueError("n_features must be at least 2")
+        if self.reference_normal + self.reference_attack > self.reference_size * 1.01:
+            raise ValueError("normal + attack sizes exceed the reference size")
+        if not self.attack_families:
+            raise ValueError("at least one attack family is required")
+        names = [family.name for family in self.attack_families]
+        if len(names) != len(set(names)):
+            raise ValueError("attack family names must be unique")
+
+    @property
+    def n_attack_types(self) -> int:
+        """Number of distinct attack families."""
+        return len(self.attack_families)
+
+    @property
+    def normal_fraction(self) -> float:
+        """Fraction of normal samples in the reference dataset."""
+        return self.reference_normal / (self.reference_normal + self.reference_attack)
+
+
+@dataclass
+class Dataset:
+    """A generated dataset: features, binary labels and per-sample attack type."""
+
+    name: str
+    X: np.ndarray
+    y: np.ndarray
+    attack_types: np.ndarray
+    feature_names: list[str]
+    spec: DatasetSpec | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if not (self.X.shape[0] == self.y.shape[0] == self.attack_types.shape[0]):
+            raise ValueError("X, y and attack_types must have the same number of samples")
+        if len(self.feature_names) != self.X.shape[1]:
+            raise ValueError("feature_names must have one entry per feature")
+
+    # -- basic accessors -----------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.X.shape[1])
+
+    @property
+    def n_normal(self) -> int:
+        return int(np.sum(self.y == 0))
+
+    @property
+    def n_attack(self) -> int:
+        return int(np.sum(self.y == 1))
+
+    @property
+    def attack_type_names(self) -> list[str]:
+        """Sorted unique attack family names present in the dataset (excluding normal)."""
+        present = np.unique(self.attack_types[self.y == 1])
+        return sorted(present.tolist())
+
+    # -- views ------------------------------------------------------------------
+    def normal_data(self) -> np.ndarray:
+        """Feature matrix of the normal samples only."""
+        return self.X[self.y == 0]
+
+    def attack_data(self, family: str | None = None) -> np.ndarray:
+        """Feature matrix of attack samples, optionally restricted to one family."""
+        mask = self.y == 1
+        if family is not None:
+            mask &= self.attack_types == family
+        return self.X[mask]
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Return a new :class:`Dataset` restricted to the given sample indices."""
+        return Dataset(
+            name=self.name,
+            X=self.X[indices],
+            y=self.y[indices],
+            attack_types=self.attack_types[indices],
+            feature_names=list(self.feature_names),
+            spec=self.spec,
+            metadata=dict(self.metadata),
+        )
+
+    def summary(self) -> dict[str, object]:
+        """Table-I style summary of the generated (and reference) dataset sizes."""
+        info: dict[str, object] = {
+            "name": self.name,
+            "n_samples": self.n_samples,
+            "n_normal": self.n_normal,
+            "n_attack": self.n_attack,
+            "n_attack_types": len(self.attack_type_names),
+            "n_features": self.n_features,
+        }
+        if self.spec is not None:
+            info.update(
+                {
+                    "reference_size": self.spec.reference_size,
+                    "reference_normal": self.spec.reference_normal,
+                    "reference_attack": self.spec.reference_attack,
+                    "reference_attack_types": self.spec.n_attack_types,
+                }
+            )
+        return info

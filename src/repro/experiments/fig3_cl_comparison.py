@@ -1,0 +1,45 @@
+"""Figure 3 — continual-learning metrics of ADCN, LwF and CND-IDS.
+
+For every dataset the three continual methods run through the experience
+stream; AVG, FwdTrans and BwdTrans are computed from the resulting F1 matrix.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import CONTINUAL_METHOD_NAMES, get_continual_result
+
+__all__ = ["run_fig3", "format_fig3"]
+
+
+def run_fig3(
+    config: ExperimentConfig | None = None,
+    *,
+    methods: tuple[str, ...] = CONTINUAL_METHOD_NAMES,
+) -> list[dict[str, object]]:
+    """Run the continual-learning comparison and return one row per (dataset, method)."""
+    config = config or ExperimentConfig()
+    rows: list[dict[str, object]] = []
+    for dataset_name in config.datasets:
+        for method_name in methods:
+            result = get_continual_result(config, dataset_name, method_name)
+            rows.append(
+                {
+                    "dataset": dataset_name,
+                    "method": method_name,
+                    "avg_f1": result.avg_f1,
+                    "fwd_transfer": result.fwd_transfer,
+                    "bwd_transfer": result.bwd_transfer,
+                }
+            )
+    return rows
+
+
+def format_fig3(rows: list[dict[str, object]]) -> str:
+    """Render the Fig. 3 reproduction as text (three series per dataset)."""
+    return format_table(
+        rows,
+        columns=["dataset", "method", "avg_f1", "fwd_transfer", "bwd_transfer"],
+        title="Fig. 3: continual-learning metrics (AVG / FwdTrans / BwdTrans, F1)",
+    )

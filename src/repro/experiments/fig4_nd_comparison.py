@@ -1,0 +1,52 @@
+"""Figure 4 — average F1 of static novelty detectors vs. CND-IDS.
+
+LOF, OC-SVM, DIF and PCA are fitted once on the clean normal data (they cannot
+be retrained on contaminated unlabeled streams); their mean F1 across all
+experience test sets is compared against CND-IDS's AVG.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    STATIC_DETECTOR_NAMES,
+    get_continual_result,
+    get_static_result,
+)
+
+__all__ = ["run_fig4", "format_fig4"]
+
+
+def run_fig4(
+    config: ExperimentConfig | None = None,
+    *,
+    detectors: tuple[str, ...] = STATIC_DETECTOR_NAMES,
+) -> list[dict[str, object]]:
+    """One row per (dataset, method) with the mean F1 across experiences."""
+    config = config or ExperimentConfig()
+    rows: list[dict[str, object]] = []
+    for dataset_name in config.datasets:
+        for detector_name in detectors:
+            static = get_static_result(config, dataset_name, detector_name)
+            rows.append(
+                {
+                    "dataset": dataset_name,
+                    "method": detector_name,
+                    "mean_f1": static.mean_f1,
+                }
+            )
+        cnd = get_continual_result(config, dataset_name, "CND-IDS")
+        rows.append(
+            {"dataset": dataset_name, "method": "CND-IDS", "mean_f1": cnd.avg_f1}
+        )
+    return rows
+
+
+def format_fig4(rows: list[dict[str, object]]) -> str:
+    """Render the Fig. 4 reproduction as text."""
+    return format_table(
+        rows,
+        columns=["dataset", "method", "mean_f1"],
+        title="Fig. 4: mean F1 of novelty detectors vs. CND-IDS",
+    )

@@ -1,0 +1,50 @@
+"""Figure 5 — threshold-free evaluation (PR-AUC) of DIF, PCA and CND-IDS.
+
+ADCN and LwF output hard cluster labels rather than anomaly scores, so the
+threshold-free comparison covers the two best static detectors and CND-IDS.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import get_continual_result, get_static_result
+
+__all__ = ["run_fig5", "format_fig5", "FIG5_DETECTORS"]
+
+#: Score-based methods compared in Fig. 5.
+FIG5_DETECTORS: tuple[str, ...] = ("DIF", "PCA")
+
+
+def run_fig5(config: ExperimentConfig | None = None) -> list[dict[str, object]]:
+    """One row per (dataset, method) with the mean PR-AUC across experiences."""
+    config = config or ExperimentConfig()
+    rows: list[dict[str, object]] = []
+    for dataset_name in config.datasets:
+        for detector_name in FIG5_DETECTORS:
+            static = get_static_result(config, dataset_name, detector_name)
+            rows.append(
+                {
+                    "dataset": dataset_name,
+                    "method": detector_name,
+                    "mean_prauc": static.mean_prauc,
+                }
+            )
+        cnd = get_continual_result(config, dataset_name, "CND-IDS")
+        rows.append(
+            {
+                "dataset": dataset_name,
+                "method": "CND-IDS",
+                "mean_prauc": cnd.avg_prauc,
+            }
+        )
+    return rows
+
+
+def format_fig5(rows: list[dict[str, object]]) -> str:
+    """Render the Fig. 5 reproduction as text."""
+    return format_table(
+        rows,
+        columns=["dataset", "method", "mean_prauc"],
+        title="Fig. 5: threshold-free evaluation (PR-AUC)",
+    )

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: object, *, precision: int = 4) -> str:
+    """Render a cell value: floats with fixed precision, everything else via ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    *,
+    columns: list[str] | None = None,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of row dictionaries as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of dictionaries; all rows should share the same keys.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional heading printed above the table.
+    precision:
+        Decimal places for float cells.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    rendered = [
+        [format_value(row.get(col, ""), precision=precision) for col in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[idx]) for r in rendered)) for idx, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(width) for col, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for r in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(r, widths)))
+    return "\n".join(lines)

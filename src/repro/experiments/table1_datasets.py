@@ -1,0 +1,51 @@
+"""Table I — Selected Intrusion Datasets.
+
+Regenerates the dataset statistics table: total size, normal samples, attack
+samples, and number of attack types — both for the synthetic datasets actually
+generated at the configured scale and for the reference (real) datasets whose
+sizes the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+
+__all__ = ["run_table1", "format_table1"]
+
+#: Paper-reported rows of Table I, used for the paper-vs-measured comparison.
+PAPER_TABLE1 = {
+    "xiiotid": {"size": 820_502, "normal": 421_417, "attack": 399_417, "attack_types": 18},
+    "wustl_iiot": {"size": 1_194_464, "normal": 1_107_448, "attack": 87_016, "attack_types": 4},
+    "cicids2017": {"size": 2_830_743, "normal": 2_273_097, "attack": 557_646, "attack_types": 15},
+    "unsw_nb15": {"size": 257_673, "normal": 164_673, "attack": 93_000, "attack_types": 10},
+}
+
+
+def run_table1(config: ExperimentConfig | None = None) -> list[dict[str, object]]:
+    """Generate every dataset and collect its Table-I style statistics."""
+    config = config or ExperimentConfig()
+    rows: list[dict[str, object]] = []
+    for name in DATASET_NAMES:
+        dataset = load_dataset(name, scale=config.scale, seed=config.seed)
+        paper = PAPER_TABLE1[name]
+        rows.append(
+            {
+                "dataset": name,
+                "generated_size": dataset.n_samples,
+                "generated_normal": dataset.n_normal,
+                "generated_attack": dataset.n_attack,
+                "attack_types": len(dataset.attack_type_names),
+                "paper_size": paper["size"],
+                "paper_normal": paper["normal"],
+                "paper_attack": paper["attack"],
+                "paper_attack_types": paper["attack_types"],
+            }
+        )
+    return rows
+
+
+def format_table1(rows: list[dict[str, object]]) -> str:
+    """Render the Table-I reproduction as text."""
+    return format_table(rows, title="Table I: Selected Intrusion Datasets (generated vs. paper)")

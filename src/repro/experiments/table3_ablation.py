@@ -1,0 +1,76 @@
+"""Table III — ablation of the CND loss components.
+
+Four variants of CND-IDS (full, w/o L_CS, w/o L_R, w/o L_R and L_CL) run the
+full continual protocol; AVG, BwdTrans and FwdTrans are averaged across the
+configured datasets, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ABLATION_VARIANTS, get_continual_result
+
+__all__ = ["run_table3", "format_table3", "PAPER_TABLE3"]
+
+#: Paper-reported ablation numbers (percent) for the paper-vs-measured record.
+PAPER_TABLE3 = {
+    "CND-IDS": {"avg": 76.92, "bwd": 0.87, "fwd": 73.70},
+    "CND-IDS (w/o LCS)": {"avg": 66.23, "bwd": 0.09, "fwd": 70.26},
+    "CND-IDS (w/o LR)": {"avg": 72.86, "bwd": -5.44, "fwd": 67.82},
+    "CND-IDS (w/o LR and LCL)": {"avg": 79.92, "bwd": -11.26, "fwd": 71.01},
+}
+
+
+def run_table3(config: ExperimentConfig | None = None) -> list[dict[str, object]]:
+    """Run every loss-ablation variant and average the CL metrics over datasets."""
+    config = config or ExperimentConfig()
+    rows: list[dict[str, object]] = []
+    for variant_name, loss_config in ABLATION_VARIANTS.items():
+        per_dataset_avg: list[float] = []
+        per_dataset_bwd: list[float] = []
+        per_dataset_fwd: list[float] = []
+        for dataset_name in config.datasets:
+            result = get_continual_result(
+                config,
+                dataset_name,
+                "CND-IDS",
+                loss_config=loss_config,
+                variant_label=variant_name,
+            )
+            per_dataset_avg.append(result.avg_f1)
+            per_dataset_bwd.append(result.bwd_transfer)
+            per_dataset_fwd.append(result.fwd_transfer)
+        paper = PAPER_TABLE3.get(variant_name, {})
+        rows.append(
+            {
+                "strategy": variant_name,
+                "avg_f1_pct": 100.0 * float(np.mean(per_dataset_avg)),
+                "bwd_transfer_pct": 100.0 * float(np.mean(per_dataset_bwd)),
+                "fwd_transfer_pct": 100.0 * float(np.mean(per_dataset_fwd)),
+                "paper_avg_pct": paper.get("avg", float("nan")),
+                "paper_bwd_pct": paper.get("bwd", float("nan")),
+                "paper_fwd_pct": paper.get("fwd", float("nan")),
+            }
+        )
+    return rows
+
+
+def format_table3(rows: list[dict[str, object]]) -> str:
+    """Render the Table III reproduction as text."""
+    return format_table(
+        rows,
+        columns=[
+            "strategy",
+            "avg_f1_pct",
+            "bwd_transfer_pct",
+            "fwd_transfer_pct",
+            "paper_avg_pct",
+            "paper_bwd_pct",
+            "paper_fwd_pct",
+        ],
+        title="Table III: ablation of the CND-IDS loss components (percent)",
+        precision=2,
+    )

@@ -1,0 +1,94 @@
+"""Table IV — average inference time per test sample.
+
+Each method is trained on a scenario once and then timed on a fixed batch of
+test samples.  Absolute values depend on this machine (the paper used a GPU
+host); the comparison of interest is the relative ordering: CND-IDS close to
+plain PCA and much faster than ADCN, LwF and DIF.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.protocol import measure_inference_time
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    build_continual_method,
+    build_static_detector,
+    get_scenario,
+    inference_batch,
+)
+from repro.ml.scalers import StandardScaler
+
+__all__ = ["run_table4", "format_table4", "PAPER_TABLE4"]
+
+#: Paper-reported inference times in milliseconds per sample.
+PAPER_TABLE4 = {
+    "CND-IDS": 0.0019,
+    "ADCN": 0.4061,
+    "LwF": 0.0677,
+    "DIF": 1.0535,
+    "PCA": 0.0018,
+}
+
+#: Methods timed in Table IV.
+TABLE4_METHODS: tuple[str, ...] = ("CND-IDS", "ADCN", "LwF", "DIF", "PCA")
+
+
+def run_table4(
+    config: ExperimentConfig | None = None,
+    *,
+    dataset_name: str | None = None,
+    batch_size: int = 2000,
+    n_repeats: int = 3,
+) -> list[dict[str, object]]:
+    """Measure the per-sample inference time of every method on one dataset."""
+    config = config or ExperimentConfig()
+    dataset_name = dataset_name or config.datasets[0]
+    scenario = get_scenario(config, dataset_name)
+    X_batch = inference_batch(config, dataset_name, size=batch_size)
+
+    rows: list[dict[str, object]] = []
+    for method_name in TABLE4_METHODS:
+        if method_name in ("CND-IDS", "ADCN", "LwF"):
+            method = build_continual_method(method_name, scenario.n_features, config)
+            method.setup(scenario.clean_normal)
+            first = scenario[0]
+            method.fit_experience(
+                first.X_train,
+                calibration_X=first.calibration_X if method.requires_labels else None,
+                calibration_y=first.calibration_y if method.requires_labels else None,
+            )
+            if method.supports_scores:
+                time_ms = measure_inference_time(
+                    method.score_samples, X_batch, n_repeats=n_repeats
+                )
+            else:
+                time_ms = measure_inference_time(
+                    method.predict, X_batch, n_repeats=n_repeats
+                )
+        else:
+            detector = build_static_detector(method_name, config)
+            scaler = StandardScaler().fit(scenario.clean_normal)
+            detector.fit(scaler.transform(scenario.clean_normal))
+            X_scaled = scaler.transform(X_batch)
+            time_ms = measure_inference_time(
+                detector.score_samples, X_scaled, n_repeats=n_repeats
+            )
+        rows.append(
+            {
+                "method": method_name,
+                "inference_time_ms": time_ms,
+                "paper_inference_time_ms": PAPER_TABLE4[method_name],
+            }
+        )
+    return rows
+
+
+def format_table4(rows: list[dict[str, object]]) -> str:
+    """Render the Table IV reproduction as text."""
+    return format_table(
+        rows,
+        columns=["method", "inference_time_ms", "paper_inference_time_ms"],
+        title="Table IV: average inference time per test sample (ms)",
+        precision=4,
+    )

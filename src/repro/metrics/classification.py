@@ -1,0 +1,82 @@
+"""Threshold-based binary classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_binary_labels, check_consistent_length
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "fbeta_score",
+    "classification_report",
+]
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Binary confusion matrix ``[[tn, fp], [fn, tp]]``."""
+    y_true = check_binary_labels(y_true, name="y_true")
+    y_pred = check_binary_labels(y_pred, name="y_pred")
+    check_consistent_length(y_true, y_pred)
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    return np.array([[tn, fp], [fn, tp]], dtype=np.int64)
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true = check_binary_labels(y_true, name="y_true")
+    y_pred = check_binary_labels(y_pred, name="y_pred")
+    check_consistent_length(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Precision ``tp / (tp + fp)`` (0.0 when no positive predictions)."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fp = cm[1, 1], cm[0, 1]
+    if tp + fp == 0:
+        return 0.0
+    return float(tp / (tp + fp))
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Recall ``tp / (tp + fn)`` (0.0 when no positive labels)."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fn = cm[1, 1], cm[1, 0]
+    if tp + fn == 0:
+        return 0.0
+    return float(tp / (tp + fn))
+
+
+def fbeta_score(y_true: np.ndarray, y_pred: np.ndarray, beta: float = 1.0) -> float:
+    """F-beta score; ``beta=1`` is the F1 score reported throughout the paper."""
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    if precision + recall == 0.0:
+        return 0.0
+    beta2 = beta**2
+    return float((1 + beta2) * precision * recall / (beta2 * precision + recall))
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    return fbeta_score(y_true, y_pred, beta=1.0)
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> dict[str, float]:
+    """Dictionary of the standard binary metrics for a prediction vector."""
+    return {
+        "accuracy": accuracy_score(y_true, y_pred),
+        "precision": precision_score(y_true, y_pred),
+        "recall": recall_score(y_true, y_pred),
+        "f1": f1_score(y_true, y_pred),
+    }

@@ -1,0 +1,89 @@
+"""Additional metrics useful for IDS evaluation beyond those in the paper.
+
+Operational security teams usually care about the false-alarm budget, so a
+few score-based operating-point metrics are provided: detection rate at a
+fixed false-positive rate and the false-positive rate needed to reach a
+target recall, plus the standard MCC / balanced-accuracy summaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.classification import confusion_matrix
+from repro.metrics.ranking import roc_curve
+from repro.utils.validation import check_binary_labels, check_consistent_length
+
+__all__ = [
+    "matthews_corrcoef",
+    "balanced_accuracy_score",
+    "false_positive_rate",
+    "detection_rate_at_fpr",
+    "fpr_at_recall",
+]
+
+
+def matthews_corrcoef(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Matthews correlation coefficient (0.0 when any marginal is degenerate)."""
+    cm = confusion_matrix(y_true, y_pred)
+    tn, fp = cm[0]
+    fn, tp = cm[1]
+    numerator = tp * tn - fp * fn
+    denominator = np.sqrt(
+        float(tp + fp) * float(tp + fn) * float(tn + fp) * float(tn + fn)
+    )
+    if denominator == 0.0:
+        return 0.0
+    return float(numerator / denominator)
+
+
+def balanced_accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of the true-positive rate and the true-negative rate."""
+    cm = confusion_matrix(y_true, y_pred)
+    tn, fp = cm[0]
+    fn, tp = cm[1]
+    tpr = tp / (tp + fn) if (tp + fn) else 0.0
+    tnr = tn / (tn + fp) if (tn + fp) else 0.0
+    return float((tpr + tnr) / 2.0)
+
+
+def false_positive_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of normal samples incorrectly flagged as attacks."""
+    cm = confusion_matrix(y_true, y_pred)
+    tn, fp = cm[0]
+    if tn + fp == 0:
+        return 0.0
+    return float(fp / (tn + fp))
+
+
+def detection_rate_at_fpr(
+    y_true: np.ndarray, scores: np.ndarray, max_fpr: float = 0.01
+) -> float:
+    """Highest attainable recall while keeping the false-positive rate at or below ``max_fpr``."""
+    if not 0.0 <= max_fpr <= 1.0:
+        raise ValueError("max_fpr must be in [0, 1]")
+    y_true = check_binary_labels(y_true, name="y_true")
+    check_consistent_length(y_true, scores)
+    fpr, tpr, _ = roc_curve(y_true, np.asarray(scores, dtype=np.float64))
+    feasible = fpr <= max_fpr + 1e-12
+    if not np.any(feasible):
+        return 0.0
+    return float(tpr[feasible].max())
+
+
+def fpr_at_recall(
+    y_true: np.ndarray, scores: np.ndarray, min_recall: float = 0.95
+) -> float:
+    """Smallest false-positive rate that achieves at least ``min_recall`` detection.
+
+    Returns 1.0 when the requested recall is unreachable at any threshold.
+    """
+    if not 0.0 <= min_recall <= 1.0:
+        raise ValueError("min_recall must be in [0, 1]")
+    y_true = check_binary_labels(y_true, name="y_true")
+    check_consistent_length(y_true, scores)
+    fpr, tpr, _ = roc_curve(y_true, np.asarray(scores, dtype=np.float64))
+    feasible = tpr >= min_recall - 1e-12
+    if not np.any(feasible):
+        return 1.0
+    return float(fpr[feasible].min())

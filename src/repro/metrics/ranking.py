@@ -1,0 +1,112 @@
+"""Threshold-free ranking metrics: precision-recall and ROC curves and their AUCs.
+
+PR-AUC is computed as average precision (step-wise integration of the PR
+curve), the convention the paper follows when citing Davis & Goadrich (2006).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_binary_labels, check_consistent_length
+
+__all__ = [
+    "precision_recall_curve",
+    "average_precision_score",
+    "pr_auc_score",
+    "roc_curve",
+    "roc_auc_score",
+]
+
+
+def _validate_scores(y_true: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = check_binary_labels(y_true, name="y_true")
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError(f"scores must be 1-D, got shape {scores.shape}")
+    check_consistent_length(y_true, scores)
+    if not np.all(np.isfinite(scores)):
+        raise ValueError("scores contain NaN or infinite values")
+    return y_true, scores
+
+
+def _binary_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cumulative true/false positives at every distinct score threshold (descending)."""
+    order = np.argsort(-scores, kind="stable")
+    scores_sorted = scores[order]
+    y_sorted = y_true[order]
+    # Indices where the score changes — thresholds are the distinct score values.
+    distinct = np.flatnonzero(np.diff(scores_sorted)) if scores_sorted.size > 1 else np.array([], dtype=int)
+    threshold_idx = np.concatenate([distinct, [scores_sorted.size - 1]])
+    tps = np.cumsum(y_sorted)[threshold_idx].astype(np.float64)
+    fps = (threshold_idx + 1 - tps).astype(np.float64)
+    thresholds = scores_sorted[threshold_idx]
+    return fps, tps, thresholds
+
+
+def precision_recall_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision and recall at every distinct score threshold.
+
+    Returns
+    -------
+    precision, recall, thresholds:
+        Arrays where ``precision[i]``/``recall[i]`` correspond to predicting
+        positive for ``score >= thresholds[i]``.  A final (1, 0) point is
+        appended to the precision/recall arrays following the usual
+        convention.
+    """
+    y_true, scores = _validate_scores(y_true, scores)
+    fps, tps, thresholds = _binary_curve(y_true, scores)
+    n_positive = tps[-1] if tps.size else 0.0
+    denom = tps + fps
+    precision = np.divide(tps, denom, out=np.zeros_like(tps), where=denom > 0)
+    if n_positive > 0:
+        recall = tps / n_positive
+    else:
+        recall = np.zeros_like(tps)
+    precision = np.concatenate([precision, [1.0]])
+    recall = np.concatenate([recall, [0.0]])
+    return precision, recall, thresholds
+
+
+def average_precision_score(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Average precision: ``sum_i (R_i - R_{i-1}) * P_i`` over increasing recall."""
+    precision, recall, _ = precision_recall_curve(y_true, scores)
+    # Drop the appended (precision=1, recall=0) sentinel; the remaining points
+    # run from the highest threshold (lowest recall) to the lowest threshold
+    # (recall=1), so recall is non-decreasing along the array.
+    precision = precision[:-1]
+    recall = recall[:-1]
+    recall_steps = np.diff(np.concatenate([[0.0], recall]))
+    return float(np.sum(recall_steps * precision))
+
+
+def pr_auc_score(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Alias for :func:`average_precision_score`, the PR-AUC the paper reports."""
+    return average_precision_score(y_true, scores)
+
+
+def roc_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """False-positive and true-positive rates at every distinct threshold."""
+    y_true, scores = _validate_scores(y_true, scores)
+    fps, tps, thresholds = _binary_curve(y_true, scores)
+    n_positive = tps[-1] if tps.size else 0.0
+    n_negative = fps[-1] if fps.size else 0.0
+    tpr = tps / n_positive if n_positive > 0 else np.zeros_like(tps)
+    fpr = fps / n_negative if n_negative > 0 else np.zeros_like(fps)
+    fpr = np.concatenate([[0.0], fpr])
+    tpr = np.concatenate([[0.0], tpr])
+    thresholds = np.concatenate([[np.inf], thresholds])
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via trapezoidal integration."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return float(np.trapezoid(tpr, fpr))

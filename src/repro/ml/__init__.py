@@ -1,0 +1,18 @@
+"""Classical machine-learning substrate: PCA, K-Means, scalers, splits."""
+
+from repro.ml.distances import pairwise_euclidean
+from repro.ml.kmeans import KMeans, elbow_method
+from repro.ml.pca import PCA
+from repro.ml.scalers import MinMaxScaler, StandardScaler
+from repro.ml.splits import stratified_indices, train_test_split
+
+__all__ = [
+    "PCA",
+    "KMeans",
+    "elbow_method",
+    "StandardScaler",
+    "MinMaxScaler",
+    "train_test_split",
+    "stratified_indices",
+    "pairwise_euclidean",
+]

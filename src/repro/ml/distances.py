@@ -1,0 +1,34 @@
+"""Pairwise distance computations used by K-Means, LOF and triplet mining."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pairwise_euclidean", "pairwise_squared_euclidean"]
+
+
+def pairwise_squared_euclidean(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between every row of ``A`` and every row of ``B``.
+
+    Returns an ``(len(A), len(B))`` matrix.  Uses the expansion
+    ``||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b`` and clips tiny negatives caused
+    by floating-point cancellation.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    if A.ndim != 2 or B.ndim != 2:
+        raise ValueError("A and B must be 2-D arrays")
+    if A.shape[1] != B.shape[1]:
+        raise ValueError(
+            f"feature dimensions differ: A has {A.shape[1]}, B has {B.shape[1]}"
+        )
+    sq_a = np.sum(A**2, axis=1)[:, None]
+    sq_b = np.sum(B**2, axis=1)[None, :]
+    d2 = sq_a + sq_b - 2.0 * (A @ B.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def pairwise_euclidean(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Euclidean distances between every row of ``A`` and every row of ``B``."""
+    return np.sqrt(pairwise_squared_euclidean(A, B))

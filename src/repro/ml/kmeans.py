@@ -1,0 +1,188 @@
+"""K-Means clustering (k-means++ initialisation, Lloyd iterations) and the elbow method.
+
+The cluster-separation loss of CND-IDS uses K-Means over the training batch to
+assign binary pseudo-labels, and the paper selects the number of clusters with
+the elbow method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.distances import pairwise_squared_euclidean
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_array, check_fitted
+
+__all__ = ["KMeans", "elbow_method"]
+
+
+class KMeans:
+    """Lloyd's K-Means with k-means++ initialisation.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``K``.
+    n_init:
+        Number of random restarts; the run with the lowest inertia wins.
+    max_iter:
+        Maximum Lloyd iterations per restart.
+    tol:
+        Relative centre-movement tolerance for convergence.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        n_init: int = 3,
+        max_iter: int = 100,
+        tol: float = 1e-4,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be at least 1")
+        if n_init < 1 or max_iter < 1:
+            raise ValueError("n_init and max_iter must be at least 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float | None = None
+        self.n_iter_: int | None = None
+
+    # -- initialisation ------------------------------------------------------
+    def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n_samples = X.shape[0]
+        centers = np.empty((self.n_clusters, X.shape[1]), dtype=np.float64)
+        first = int(rng.integers(n_samples))
+        centers[0] = X[first]
+        closest_sq = pairwise_squared_euclidean(X, centers[:1]).ravel()
+        for k in range(1, self.n_clusters):
+            total = closest_sq.sum()
+            if total <= 0.0:
+                # All points coincide with chosen centers; pick randomly.
+                idx = int(rng.integers(n_samples))
+            else:
+                probabilities = closest_sq / total
+                idx = int(rng.choice(n_samples, p=probabilities))
+            centers[k] = X[idx]
+            new_sq = pairwise_squared_euclidean(X, centers[k : k + 1]).ravel()
+            np.minimum(closest_sq, new_sq, out=closest_sq)
+        return centers
+
+    # -- fitting ----------------------------------------------------------------
+    def fit(self, X: np.ndarray) -> "KMeans":
+        X = check_array(X, name="X")
+        if X.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"n_samples={X.shape[0]} must be >= n_clusters={self.n_clusters}"
+            )
+        rng = check_random_state(self.random_state)
+        best_inertia = np.inf
+        best: tuple[np.ndarray, np.ndarray, int] | None = None
+        for _ in range(self.n_init):
+            centers, labels, inertia, n_iter = self._single_run(X, rng)
+            if inertia < best_inertia:
+                best_inertia = inertia
+                best = (centers, labels, n_iter)
+        assert best is not None
+        self.cluster_centers_, self.labels_, self.n_iter_ = best
+        self.inertia_ = float(best_inertia)
+        return self
+
+    def _single_run(
+        self, X: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        centers = self._init_centers(X, rng)
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            distances = pairwise_squared_euclidean(X, centers)
+            labels = distances.argmin(axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if members.shape[0] > 0:
+                    new_centers[k] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the point farthest from its centre.
+                    farthest = distances.min(axis=1).argmax()
+                    new_centers[k] = X[farthest]
+            shift = np.sqrt(np.sum((new_centers - centers) ** 2, axis=1)).max()
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        distances = pairwise_squared_euclidean(X, centers)
+        labels = distances.argmin(axis=1)
+        inertia = float(distances[np.arange(X.shape[0]), labels].sum())
+        return centers, labels, inertia, n_iter
+
+    # -- inference ---------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign each sample to the nearest fitted cluster centre."""
+        check_fitted(self, "cluster_centers_")
+        X = check_array(X, name="X", allow_empty=True)
+        if X.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        return pairwise_squared_euclidean(X, self.cluster_centers_).argmin(axis=1)
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Distances from each sample to every cluster centre."""
+        check_fitted(self, "cluster_centers_")
+        X = check_array(X, name="X", allow_empty=True)
+        return np.sqrt(pairwise_squared_euclidean(X, self.cluster_centers_))
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).labels_
+
+
+def elbow_method(
+    X: np.ndarray,
+    k_range: range | list[int] = range(2, 11),
+    *,
+    random_state: int | np.random.Generator | None = None,
+    n_init: int = 2,
+    max_iter: int = 50,
+) -> int:
+    """Choose the number of clusters by the elbow (maximum curvature) criterion.
+
+    Fits K-Means for every ``k`` in ``k_range`` and returns the ``k`` whose
+    point on the inertia curve is farthest from the straight line joining the
+    first and last points — a standard numerical formulation of the elbow
+    heuristic the paper cites.
+    """
+    X = check_array(X, name="X")
+    ks = [int(k) for k in k_range]
+    if len(ks) == 0:
+        raise ValueError("k_range must contain at least one value")
+    ks = [k for k in ks if k <= X.shape[0]]
+    if not ks:
+        return 1
+    if len(ks) == 1:
+        return ks[0]
+    rng = check_random_state(random_state)
+    inertias = []
+    for k in ks:
+        model = KMeans(
+            n_clusters=k, n_init=n_init, max_iter=max_iter, random_state=rng
+        ).fit(X)
+        inertias.append(model.inertia_)
+    inertias_arr = np.asarray(inertias, dtype=np.float64)
+
+    # Distance of every (k, inertia) point from the chord between endpoints.
+    x = np.asarray(ks, dtype=np.float64)
+    y = inertias_arr
+    x_norm = (x - x[0]) / max(x[-1] - x[0], 1e-12)
+    y_span = max(abs(y[0] - y[-1]), 1e-12)
+    y_norm = (y - y[-1]) / y_span
+    # Chord from (0, y_norm[0]) to (1, 0): distance of each point to it.
+    x0, y0 = 0.0, y_norm[0]
+    x1, y1 = 1.0, 0.0
+    numerator = np.abs((y1 - y0) * x_norm - (x1 - x0) * y_norm + x1 * y0 - y1 * x0)
+    denominator = np.sqrt((y1 - y0) ** 2 + (x1 - x0) ** 2)
+    distances = numerator / denominator
+    return ks[int(distances.argmax())]

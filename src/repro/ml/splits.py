@@ -1,0 +1,93 @@
+"""Dataset splitting helpers (random and stratified train/test splits)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.random import check_random_state
+
+__all__ = ["train_test_split", "stratified_indices"]
+
+
+def stratified_indices(
+    y: np.ndarray,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (train_idx, test_idx) with per-class proportional sampling.
+
+    Every class keeps at least one sample on each side whenever it has two or
+    more members, so small attack families are never dropped entirely from
+    either split.
+    """
+    y = np.asarray(y)
+    train_parts: list[np.ndarray] = []
+    test_parts: list[np.ndarray] = []
+    for value in np.unique(y):
+        idx = np.flatnonzero(y == value)
+        rng.shuffle(idx)
+        n_test = int(round(len(idx) * test_fraction))
+        if len(idx) >= 2:
+            n_test = min(max(n_test, 1), len(idx) - 1)
+        else:
+            n_test = 0
+        test_parts.append(idx[:n_test])
+        train_parts.append(idx[n_test:])
+    train_idx = np.concatenate(train_parts) if train_parts else np.empty(0, dtype=np.int64)
+    test_idx = np.concatenate(test_parts) if test_parts else np.empty(0, dtype=np.int64)
+    rng.shuffle(train_idx)
+    rng.shuffle(test_idx)
+    return train_idx, test_idx
+
+
+def train_test_split(
+    *arrays: np.ndarray,
+    test_size: float = 0.25,
+    stratify: np.ndarray | None = None,
+    random_state: int | np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """Split arrays into random train and test subsets.
+
+    Parameters
+    ----------
+    arrays:
+        Arrays sharing the same first dimension.
+    test_size:
+        Fraction of samples assigned to the test subset (strictly between 0 and 1).
+    stratify:
+        Optional label array; when given, each class is split proportionally.
+    random_state:
+        Seed or generator controlling the shuffling.
+
+    Returns
+    -------
+    list of ndarray
+        ``[a_train, a_test, b_train, b_test, ...]`` in the order the arrays
+        were supplied.
+    """
+    if not arrays:
+        raise ValueError("train_test_split requires at least one array")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be strictly between 0 and 1")
+    n = arrays[0].shape[0]
+    for arr in arrays:
+        if arr.shape[0] != n:
+            raise ValueError("all arrays must share the same number of samples")
+    rng = check_random_state(random_state)
+
+    if stratify is not None:
+        if np.asarray(stratify).shape[0] != n:
+            raise ValueError("stratify must have one entry per sample")
+        train_idx, test_idx = stratified_indices(np.asarray(stratify), test_size, rng)
+    else:
+        indices = rng.permutation(n)
+        n_test = max(1, int(round(n * test_size)))
+        n_test = min(n_test, n - 1) if n > 1 else n_test
+        test_idx = indices[:n_test]
+        train_idx = indices[n_test:]
+
+    result: list[np.ndarray] = []
+    for arr in arrays:
+        result.append(arr[train_idx])
+        result.append(arr[test_idx])
+    return result

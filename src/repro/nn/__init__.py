@@ -1,0 +1,62 @@
+"""From-scratch neural-network substrate on NumPy.
+
+The paper trains its Continual Feature Extractor (a 4-layer MLP autoencoder)
+with Adam.  This subpackage provides the minimum credible equivalent of the
+PyTorch pieces the paper relies on: layer modules with exact analytical
+backpropagation, losses (including the triplet margin loss used by the
+cluster-separation objective), optimizers, and small model/trainer helpers.
+"""
+
+from repro.nn.data import batch_iterator
+from repro.nn.initializers import he_init, xavier_init
+from repro.nn.layers import (
+    BatchNorm1d,
+    Dropout,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.schedulers import EarlyStopping, ExponentialLR, StepLR
+from repro.nn.losses import (
+    BCELoss,
+    MSELoss,
+    SoftmaxCrossEntropyLoss,
+    TripletMarginLoss,
+)
+from repro.nn.models import MLP, Autoencoder
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "BatchNorm1d",
+    "Sequential",
+    "StepLR",
+    "ExponentialLR",
+    "EarlyStopping",
+    "MSELoss",
+    "BCELoss",
+    "SoftmaxCrossEntropyLoss",
+    "TripletMarginLoss",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "MLP",
+    "Autoencoder",
+    "Trainer",
+    "TrainingHistory",
+    "batch_iterator",
+    "he_init",
+    "xavier_init",
+]

@@ -1,0 +1,58 @@
+"""Mini-batch iteration utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.random import check_random_state
+
+__all__ = ["batch_iterator"]
+
+
+def batch_iterator(
+    *arrays: np.ndarray,
+    batch_size: int = 128,
+    shuffle: bool = True,
+    random_state: int | np.random.Generator | None = None,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, ...]]:
+    """Yield aligned mini-batches from one or more arrays.
+
+    Parameters
+    ----------
+    arrays:
+        One or more arrays sharing the same first dimension.
+    batch_size:
+        Number of samples per batch.
+    shuffle:
+        Shuffle sample order before batching.
+    random_state:
+        Seed or generator controlling the shuffle.
+    drop_last:
+        Drop the final batch if it is smaller than ``batch_size``.
+
+    Yields
+    ------
+    tuple of numpy.ndarray
+        One batch slice per input array (a 1-tuple when a single array is
+        passed).
+    """
+    if not arrays:
+        raise ValueError("batch_iterator requires at least one array")
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    n = arrays[0].shape[0]
+    for arr in arrays:
+        if arr.shape[0] != n:
+            raise ValueError("all arrays must share the same number of samples")
+    indices = np.arange(n)
+    if shuffle:
+        rng = check_random_state(random_state)
+        rng.shuffle(indices)
+    for start in range(0, n, batch_size):
+        batch_idx = indices[start : start + batch_size]
+        if drop_last and batch_idx.shape[0] < batch_size:
+            return
+        yield tuple(arr[batch_idx] for arr in arrays)

@@ -1,0 +1,27 @@
+"""Weight initialisation schemes for linear layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.random import check_random_state
+
+__all__ = ["xavier_init", "he_init"]
+
+
+def xavier_init(
+    fan_in: int, fan_out: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Xavier/Glorot uniform initialisation, suited to tanh/sigmoid layers."""
+    rng = check_random_state(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_init(
+    fan_in: int, fan_out: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """He normal initialisation, suited to ReLU layers."""
+    rng = check_random_state(rng)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))

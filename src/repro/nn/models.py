@@ -1,0 +1,167 @@
+"""Standard model architectures built from the layer substrate: MLP and Autoencoder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import LeakyReLU, Linear, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.module import Module, Parameter
+from repro.utils.random import check_random_state
+
+__all__ = ["MLP", "Autoencoder"]
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+}
+
+
+def _make_activation(name: str) -> Module:
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}"
+        ) from exc
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable stack of hidden layers.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sequence of layer widths including input and output, e.g.
+        ``[64, 256, 256, 32]`` creates three linear layers.
+    activation:
+        Hidden-layer activation name (``relu``, ``leaky_relu``, ``tanh``,
+        ``sigmoid``).
+    output_activation:
+        Optional activation applied after the final linear layer.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        *,
+        activation: str = "relu",
+        output_activation: str | None = None,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if len(layer_sizes) < 2:
+            raise ValueError("layer_sizes must contain at least input and output sizes")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; choose from {sorted(_ACTIVATIONS)}"
+            )
+        if output_activation is not None and output_activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {output_activation!r}; choose from {sorted(_ACTIVATIONS)}"
+            )
+        rng = check_random_state(random_state)
+        init = "he" if activation in ("relu", "leaky_relu") else "xavier"
+        layers: list[Module] = []
+        for i in range(len(layer_sizes) - 1):
+            layers.append(
+                Linear(layer_sizes[i], layer_sizes[i + 1], init=init, random_state=rng)
+            )
+            is_last = i == len(layer_sizes) - 2
+            if not is_last:
+                layers.append(_make_activation(activation))
+            elif output_activation is not None:
+                layers.append(_make_activation(output_activation))
+        self.layer_sizes = list(layer_sizes)
+        self.net = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_output)
+
+    def parameters(self) -> list[Parameter]:
+        return self.net.parameters()
+
+
+class Autoencoder(Module):
+    """MLP autoencoder with separately accessible encoder and decoder.
+
+    Matching the paper's Continual Feature Extractor architecture, the
+    default is a 4-layer MLP (two encoder layers, two decoder layers) with
+    256-unit hidden layers.
+
+    Parameters
+    ----------
+    input_dim:
+        Dimensionality of the input features.
+    latent_dim:
+        Dimensionality of the learned embedding ``h``.
+    hidden_dims:
+        Widths of the hidden layers of the encoder; the decoder mirrors them.
+    activation:
+        Hidden-layer activation.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        latent_dim: int = 32,
+        hidden_dims: tuple[int, ...] = (256,),
+        *,
+        activation: str = "relu",
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if input_dim <= 0 or latent_dim <= 0:
+            raise ValueError("input_dim and latent_dim must be positive")
+        rng = check_random_state(random_state)
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+        self.hidden_dims = tuple(hidden_dims)
+
+        encoder_sizes = [input_dim, *hidden_dims, latent_dim]
+        decoder_sizes = [latent_dim, *reversed(hidden_dims), input_dim]
+        self.encoder = MLP(encoder_sizes, activation=activation, random_state=rng)
+        self.decoder = MLP(decoder_sizes, activation=activation, random_state=rng)
+
+    # -- forward passes --------------------------------------------------
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Map inputs to latent embeddings ``h``."""
+        return self.encoder(x)
+
+    def decode(self, h: np.ndarray) -> np.ndarray:
+        """Reconstruct inputs from latent embeddings."""
+        return self.decoder(h)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.decode(self.encode(x))
+
+    # -- backward passes --------------------------------------------------
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_latent = self.decoder.backward(grad_output)
+        return self.encoder.backward(grad_latent)
+
+    def backward_through_decoder(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate a reconstruction gradient through the decoder only.
+
+        Returns the gradient with respect to the latent embedding so the
+        caller can merge it with gradients from latent-space losses before a
+        single encoder backward pass (used by the CND composite loss).
+        """
+        return self.decoder.backward(grad_output)
+
+    def backward_through_encoder(self, grad_latent: np.ndarray) -> np.ndarray:
+        """Backpropagate a latent-space gradient through the encoder only."""
+        return self.encoder.backward(grad_latent)
+
+    def parameters(self) -> list[Parameter]:
+        return self.encoder.parameters() + self.decoder.parameters()
+
+    def reconstruction_error(self, x: np.ndarray) -> np.ndarray:
+        """Per-sample squared reconstruction error ``||x - dec(enc(x))||^2``."""
+        x = np.asarray(x, dtype=np.float64)
+        reconstruction = self.forward(x)
+        return np.sum((x - reconstruction) ** 2, axis=1)

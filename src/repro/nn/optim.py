@@ -1,0 +1,103 @@
+"""Gradient-descent optimizers (SGD with momentum, Adam)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer operating on a fixed list of :class:`Parameter` objects."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.params = list(params)
+        self.lr = lr
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored in the parameters."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Zero the gradient buffer of every tracked parameter."""
+        for param in self.params:
+            param.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0.0:
+            raise ValueError("weight_decay must be non-negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            velocity *= self.momentum
+            velocity -= self.lr * grad
+            param.value += velocity
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) — the optimizer used in the paper."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.001,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must each be in [0, 1)")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if weight_decay < 0.0:
+            raise ValueError("weight_decay must be non-negative")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias_correction1 = 1.0 - self.beta1**self._t
+        bias_correction2 = 1.0 - self.beta2**self._t
+        for param, m, v in zip(self.params, self._m, self._v):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

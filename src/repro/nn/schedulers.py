@@ -1,0 +1,75 @@
+"""Learning-rate schedules and early stopping for the training loops."""
+
+from __future__ import annotations
+
+from repro.nn.optim import Optimizer
+
+__all__ = ["StepLR", "ExponentialLR", "EarlyStopping"]
+
+
+class StepLR:
+    """Multiply the optimizer learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 10, gamma: float = 0.5) -> None:
+        if step_size < 1:
+            raise ValueError("step_size must be at least 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        decays = self.epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma**decays)
+        return self.optimizer.lr
+
+
+class ExponentialLR:
+    """Multiply the optimizer learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * (self.gamma**self.epoch)
+        return self.optimizer.lr
+
+
+class EarlyStopping:
+    """Stop training when a monitored loss stops improving.
+
+    Call :meth:`update` with the epoch loss; it returns ``True`` when training
+    should stop (no improvement larger than ``min_delta`` for ``patience``
+    consecutive epochs).
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 1e-4) -> None:
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_loss = float("inf")
+        self.epochs_without_improvement = 0
+
+    def update(self, loss: float) -> bool:
+        """Record an epoch loss; return ``True`` when training should stop."""
+        if loss < self.best_loss - self.min_delta:
+            self.best_loss = loss
+            self.epochs_without_improvement = 0
+        else:
+            self.epochs_without_improvement += 1
+        return self.epochs_without_improvement >= self.patience

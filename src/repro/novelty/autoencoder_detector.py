@@ -1,0 +1,70 @@
+"""Autoencoder reconstruction-error novelty detector.
+
+Not a baseline of the paper's figures but a standard unsupervised IDS method
+(cited in the related work); included for completeness and used in examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import MSELoss
+from repro.nn.models import Autoencoder
+from repro.nn.optim import Adam
+from repro.nn.trainer import Trainer
+from repro.novelty.base import NoveltyDetector
+from repro.utils.validation import check_array, check_fitted
+
+__all__ = ["AutoencoderDetector"]
+
+
+class AutoencoderDetector(NoveltyDetector):
+    """Score samples by the reconstruction error of an autoencoder trained on normal data."""
+
+    def __init__(
+        self,
+        latent_dim: int = 16,
+        hidden_dims: tuple[int, ...] = (64,),
+        *,
+        epochs: int = 20,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        threshold_quantile: float = 0.95,
+        random_state: int | None = 0,
+    ) -> None:
+        super().__init__(threshold_quantile=threshold_quantile)
+        self.latent_dim = latent_dim
+        self.hidden_dims = tuple(hidden_dims)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+        self.autoencoder_: Autoencoder | None = None
+
+    def fit(self, X: np.ndarray) -> "AutoencoderDetector":
+        X = check_array(X, name="X")
+        autoencoder = Autoencoder(
+            X.shape[1],
+            latent_dim=self.latent_dim,
+            hidden_dims=self.hidden_dims,
+            random_state=self.random_state,
+        )
+        trainer = Trainer(
+            autoencoder,
+            Adam(autoencoder.parameters(), lr=self.learning_rate),
+            MSELoss(),
+            batch_size=self.batch_size,
+            epochs=self.epochs,
+            random_state=self.random_state,
+        )
+        trainer.fit(X)
+        self.autoencoder_ = autoencoder
+        self._set_default_threshold(self.score_samples(X))
+        return self
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "autoencoder_")
+        X = check_array(X, name="X", allow_empty=True)
+        if X.shape[0] == 0:
+            return np.empty(0)
+        return self.autoencoder_.reconstruction_error(X)

@@ -1,0 +1,57 @@
+"""Common interface for novelty detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.thresholds import quantile_threshold
+
+__all__ = ["NoveltyDetector"]
+
+
+class NoveltyDetector:
+    """Abstract base class for novelty detectors.
+
+    Subclasses implement :meth:`fit` and :meth:`score_samples`.  The base
+    class provides threshold handling: after fitting, a default threshold is
+    derived from the training-score distribution (``threshold_quantile``), and
+    :meth:`predict` applies either that default or an explicit threshold.
+    """
+
+    def __init__(self, *, threshold_quantile: float = 0.95) -> None:
+        if not 0.0 < threshold_quantile < 1.0:
+            raise ValueError("threshold_quantile must be strictly between 0 and 1")
+        self.threshold_quantile = threshold_quantile
+        self.threshold_: float | None = None
+
+    # -- interface ---------------------------------------------------------
+    def fit(self, X: np.ndarray) -> "NoveltyDetector":
+        """Fit the detector on training data assumed to be (mostly) normal."""
+        raise NotImplementedError
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        """Anomaly scores for ``X``; higher values indicate more anomalous samples."""
+        raise NotImplementedError
+
+    # -- shared behaviour -----------------------------------------------------
+    def _set_default_threshold(self, train_scores: np.ndarray) -> None:
+        """Store the training-quantile threshold used by :meth:`predict` by default."""
+        self.threshold_ = quantile_threshold(
+            np.asarray(train_scores, dtype=np.float64), self.threshold_quantile
+        )
+
+    def predict(self, X: np.ndarray, threshold: float | None = None) -> np.ndarray:
+        """Binary predictions: 1 (attack/novel) where the score exceeds the threshold."""
+        if threshold is None:
+            if self.threshold_ is None:
+                raise RuntimeError(
+                    f"{type(self).__name__} has no default threshold; fit the detector "
+                    "or pass an explicit threshold"
+                )
+            threshold = self.threshold_
+        scores = self.score_samples(X)
+        return (scores > threshold).astype(np.int64)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return predictions for the same samples."""
+        return self.fit(X).predict(X)

@@ -1,0 +1,94 @@
+"""Deep Isolation Forest (Xu et al., TKDE 2023).
+
+DIF replaces the axis-parallel splits of a plain isolation forest with
+isolation in the representation spaces of an ensemble of *randomly
+initialised* neural networks: each network maps the data to a new space, an
+isolation forest is built on every representation, and the anomaly score is
+the average of the per-representation scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.models import MLP
+from repro.novelty.base import NoveltyDetector
+from repro.novelty.iforest import IsolationForest
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_array, check_fitted
+
+__all__ = ["DeepIsolationForest"]
+
+
+class DeepIsolationForest(NoveltyDetector):
+    """Isolation forest over an ensemble of random neural representations.
+
+    Parameters
+    ----------
+    n_representations:
+        Number of randomly initialised networks (``r`` in the paper).
+    n_estimators_per_representation:
+        Number of isolation trees built on each representation (``t``).
+    representation_dim:
+        Output dimensionality of each random network.
+    hidden_dims:
+        Hidden-layer widths of the random networks.
+    """
+
+    def __init__(
+        self,
+        n_representations: int = 5,
+        n_estimators_per_representation: int = 20,
+        *,
+        representation_dim: int = 20,
+        hidden_dims: tuple[int, ...] = (64,),
+        max_samples: int = 256,
+        threshold_quantile: float = 0.95,
+        random_state: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(threshold_quantile=threshold_quantile)
+        if n_representations < 1 or n_estimators_per_representation < 1:
+            raise ValueError("ensemble sizes must be at least 1")
+        self.n_representations = n_representations
+        self.n_estimators_per_representation = n_estimators_per_representation
+        self.representation_dim = representation_dim
+        self.hidden_dims = tuple(hidden_dims)
+        self.max_samples = max_samples
+        self.random_state = random_state
+        self.networks_: list[MLP] | None = None
+        self.forests_: list[IsolationForest] | None = None
+
+    def fit(self, X: np.ndarray) -> "DeepIsolationForest":
+        X = check_array(X, name="X")
+        rng = check_random_state(self.random_state)
+        networks: list[MLP] = []
+        forests: list[IsolationForest] = []
+        for _ in range(self.n_representations):
+            net = MLP(
+                [X.shape[1], *self.hidden_dims, self.representation_dim],
+                activation="tanh",
+                random_state=rng,
+            )
+            net.eval()
+            representation = net(X)
+            forest = IsolationForest(
+                n_estimators=self.n_estimators_per_representation,
+                max_samples=self.max_samples,
+                random_state=rng,
+            ).fit(representation)
+            networks.append(net)
+            forests.append(forest)
+        self.networks_ = networks
+        self.forests_ = forests
+        self._set_default_threshold(self.score_samples(X))
+        return self
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "networks_")
+        X = check_array(X, name="X", allow_empty=True)
+        if X.shape[0] == 0:
+            return np.empty(0)
+        scores = np.zeros(X.shape[0])
+        for net, forest in zip(self.networks_, self.forests_):
+            scores += forest.score_samples(net(X))
+        return scores / len(self.networks_)

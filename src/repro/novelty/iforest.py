@@ -1,0 +1,132 @@
+"""Isolation Forest (Liu, Ting & Zhou, 2008).
+
+Builds an ensemble of isolation trees on random subsamples; the anomaly score
+of a sample is ``2^(-E[h(x)] / c(psi))`` where ``E[h(x)]`` is the average path
+length over the ensemble and ``c(psi)`` the expected path length of an
+unsuccessful BST search in a subsample of size ``psi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.novelty.base import NoveltyDetector
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_array, check_fitted
+
+__all__ = ["IsolationForest", "average_path_length"]
+
+
+def average_path_length(n: int | np.ndarray) -> np.ndarray:
+    """Expected path length ``c(n)`` of an unsuccessful BST search over ``n`` points."""
+    n_arr = np.atleast_1d(np.asarray(n, dtype=np.float64))
+    result = np.zeros_like(n_arr)
+    mask = n_arr > 2
+    harmonic = np.log(n_arr[mask] - 1.0) + np.euler_gamma
+    result[mask] = 2.0 * harmonic - 2.0 * (n_arr[mask] - 1.0) / n_arr[mask]
+    result[n_arr == 2] = 1.0
+    return result
+
+
+@dataclass
+class _Node:
+    """Isolation-tree node: either an internal split or an external leaf."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    size: int = 0  # only meaningful for leaves
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _build_tree(
+    X: np.ndarray, depth: int, max_depth: int, rng: np.random.Generator
+) -> _Node:
+    n = X.shape[0]
+    if depth >= max_depth or n <= 1:
+        return _Node(size=n)
+    feature = int(rng.integers(X.shape[1]))
+    lo, hi = X[:, feature].min(), X[:, feature].max()
+    if lo == hi:
+        return _Node(size=n)
+    threshold = float(rng.uniform(lo, hi))
+    left_mask = X[:, feature] < threshold
+    return _Node(
+        feature=feature,
+        threshold=threshold,
+        left=_build_tree(X[left_mask], depth + 1, max_depth, rng),
+        right=_build_tree(X[~left_mask], depth + 1, max_depth, rng),
+    )
+
+
+def _path_lengths(node: _Node, X: np.ndarray, depth: float, out: np.ndarray, idx: np.ndarray) -> None:
+    if node.is_leaf:
+        out[idx] = depth + (average_path_length(node.size)[0] if node.size > 1 else 0.0)
+        return
+    mask = X[idx, node.feature] < node.threshold
+    if mask.any():
+        _path_lengths(node.left, X, depth + 1.0, out, idx[mask])
+    if (~mask).any():
+        _path_lengths(node.right, X, depth + 1.0, out, idx[~mask])
+
+
+class IsolationForest(NoveltyDetector):
+    """Ensemble of isolation trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_samples:
+        Subsample size per tree (``psi``); capped at the training-set size.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_samples: int = 256,
+        *,
+        threshold_quantile: float = 0.95,
+        random_state: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(threshold_quantile=threshold_quantile)
+        if n_estimators < 1 or max_samples < 2:
+            raise ValueError("n_estimators must be >= 1 and max_samples >= 2")
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self.random_state = random_state
+        self.trees_: list[_Node] | None = None
+        self.subsample_size_: int | None = None
+
+    def fit(self, X: np.ndarray) -> "IsolationForest":
+        X = check_array(X, name="X")
+        rng = check_random_state(self.random_state)
+        psi = min(self.max_samples, X.shape[0])
+        max_depth = int(np.ceil(np.log2(max(psi, 2))))
+        trees = []
+        for _ in range(self.n_estimators):
+            idx = rng.choice(X.shape[0], psi, replace=False)
+            trees.append(_build_tree(X[idx], 0, max_depth, rng))
+        self.trees_ = trees
+        self.subsample_size_ = psi
+        self._set_default_threshold(self.score_samples(X))
+        return self
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "trees_")
+        X = check_array(X, name="X", allow_empty=True)
+        if X.shape[0] == 0:
+            return np.empty(0)
+        depths = np.zeros((len(self.trees_), X.shape[0]))
+        all_idx = np.arange(X.shape[0])
+        for t, tree in enumerate(self.trees_):
+            _path_lengths(tree, X, 0.0, depths[t], all_idx)
+        mean_depth = depths.mean(axis=0)
+        c = average_path_length(self.subsample_size_)[0]
+        return np.power(2.0, -mean_depth / max(c, 1e-12))

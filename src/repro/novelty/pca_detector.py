@@ -1,0 +1,51 @@
+"""PCA reconstruction-error novelty detector.
+
+This is the "PCA" baseline of the paper (following Rios et al., incDFM) and
+also the novelty-detection half of CND-IDS itself: fit PCA on normal data and
+score each sample by its feature reconstruction error
+``FRE = ||x - T^{-1}(T(x))||^2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.pca import PCA
+from repro.novelty.base import NoveltyDetector
+from repro.utils.validation import check_array, check_fitted
+
+__all__ = ["PCAReconstructionDetector"]
+
+
+class PCAReconstructionDetector(NoveltyDetector):
+    """Novelty detection via PCA feature reconstruction error.
+
+    Parameters
+    ----------
+    n_components:
+        Passed to :class:`repro.ml.PCA`; the paper keeps components explaining
+        95% of the variance (``0.95``).
+    threshold_quantile:
+        Quantile of the training scores used as the default decision threshold.
+    """
+
+    def __init__(
+        self,
+        n_components: int | float | None = 0.95,
+        *,
+        threshold_quantile: float = 0.95,
+    ) -> None:
+        super().__init__(threshold_quantile=threshold_quantile)
+        self.n_components = n_components
+        self.pca_: PCA | None = None
+
+    def fit(self, X: np.ndarray) -> "PCAReconstructionDetector":
+        X = check_array(X, name="X")
+        self.pca_ = PCA(n_components=self.n_components).fit(X)
+        self._set_default_threshold(self.pca_.reconstruction_error(X))
+        return self
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "pca_")
+        X = check_array(X, name="X", allow_empty=True)
+        return self.pca_.reconstruction_error(X)

@@ -1,0 +1,20 @@
+"""Supervised ML-IDS baselines used in the paper's motivating experiment (Fig. 1).
+
+The paper contrasts XGBoost, Random Forest and a DNN on known vs. unknown
+attacks.  This subpackage provides from-scratch equivalents: CART decision
+trees, a bagged random forest, gradient-boosted trees (the XGBoost stand-in)
+and an MLP classifier built on :mod:`repro.nn`.
+"""
+
+from repro.supervised.dnn import DNNClassifier
+from repro.supervised.gradient_boosting import GradientBoostingClassifier
+from repro.supervised.random_forest import RandomForestClassifier
+from repro.supervised.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "DNNClassifier",
+]

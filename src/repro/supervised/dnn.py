@@ -1,0 +1,78 @@
+"""Deep neural-network classifier (MLP + softmax cross-entropy) for Fig. 1."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import SoftmaxCrossEntropyLoss
+from repro.nn.models import MLP
+from repro.nn.optim import Adam
+from repro.nn.trainer import Trainer
+from repro.utils.validation import check_array, check_consistent_length, check_fitted
+
+__all__ = ["DNNClassifier"]
+
+
+class DNNClassifier:
+    """MLP classifier trained with Adam and softmax cross-entropy.
+
+    Parameters
+    ----------
+    hidden_dims:
+        Widths of the hidden layers.
+    epochs, batch_size, learning_rate:
+        Training schedule.
+    """
+
+    def __init__(
+        self,
+        hidden_dims: tuple[int, ...] = (128, 64),
+        *,
+        epochs: int = 20,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        random_state: int | None = 0,
+    ) -> None:
+        self.hidden_dims = tuple(hidden_dims)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+        self.network_: MLP | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DNNClassifier":
+        X = check_array(X, name="X")
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        network = MLP(
+            [X.shape[1], *self.hidden_dims, len(self.classes_)],
+            activation="relu",
+            random_state=self.random_state,
+        )
+        trainer = Trainer(
+            network,
+            Adam(network.parameters(), lr=self.learning_rate),
+            SoftmaxCrossEntropyLoss(),
+            batch_size=self.batch_size,
+            epochs=self.epochs,
+            random_state=self.random_state,
+        )
+        trainer.fit(X, encoded.astype(np.int64))
+        self.network_ = network
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        check_fitted(self, "network_")
+        X = check_array(X, name="X", allow_empty=True)
+        if X.shape[0] == 0:
+            return np.empty((0, len(self.classes_)))
+        logits = self.network_(X)
+        return SoftmaxCrossEntropyLoss.predict_proba(logits)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class label per sample."""
+        proba = self.predict_proba(X)
+        return self.classes_[proba.argmax(axis=1)]

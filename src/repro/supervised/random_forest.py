@@ -1,0 +1,84 @@
+"""Random forest classifier: bagged CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.supervised.tree import DecisionTreeClassifier
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_array, check_consistent_length, check_fitted
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated decision trees with per-split feature subsampling.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees in the forest.
+    max_depth, min_samples_leaf:
+        Passed to each :class:`~repro.supervised.tree.DecisionTreeClassifier`.
+    max_features:
+        Features considered per split; default ``"sqrt"`` as is conventional.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        *,
+        max_depth: int = 10,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeClassifier] | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = check_array(X, name="X")
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        rng = check_random_state(self.random_state)
+        self.classes_ = np.unique(y)
+        trees: list[DecisionTreeClassifier] = []
+        n = X.shape[0]
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=rng,
+            )
+            tree.fit(X[idx], y[idx])
+            trees.append(tree)
+        self.trees_ = trees
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average of per-tree class-probability estimates, aligned to ``classes_``."""
+        check_fitted(self, "trees_")
+        X = check_array(X, name="X", allow_empty=True)
+        if X.shape[0] == 0:
+            return np.empty((0, len(self.classes_)))
+        proba = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.trees_:
+            tree_proba = tree.predict_proba(X)
+            # Align tree classes (a bootstrap may miss a rare class) to forest classes.
+            col_index = np.searchsorted(self.classes_, tree.classes_)
+            proba[:, col_index] += tree_proba
+        return proba / len(self.trees_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-vote class prediction."""
+        proba = self.predict_proba(X)
+        return self.classes_[proba.argmax(axis=1)]

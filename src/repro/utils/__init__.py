@@ -1,0 +1,19 @@
+"""Shared utilities: validation, random state handling, timing."""
+
+from repro.utils.random import check_random_state
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_array,
+    check_binary_labels,
+    check_consistent_length,
+    check_fitted,
+)
+
+__all__ = [
+    "check_random_state",
+    "Timer",
+    "check_array",
+    "check_binary_labels",
+    "check_consistent_length",
+    "check_fitted",
+]

@@ -1,0 +1,49 @@
+"""Lightweight timing helpers used by the overhead analysis (Table IV)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer"]
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Use as a context manager; the elapsed time of every ``with`` block is
+    accumulated so repeated measurements can be averaged.
+
+    Examples
+    --------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.total >= 0.0
+    True
+    """
+
+    total: float = 0.0
+    n_calls: int = 0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.total += time.perf_counter() - self._start
+        self.n_calls += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed time per ``with`` block (0.0 when never used)."""
+        if self.n_calls == 0:
+            return 0.0
+        return self.total / self.n_calls
+
+    def reset(self) -> None:
+        """Zero the accumulated time and call count."""
+        self.total = 0.0
+        self.n_calls = 0

@@ -1,0 +1,93 @@
+"""Input validation helpers shared by every estimator in the library."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_array",
+    "check_binary_labels",
+    "check_consistent_length",
+    "check_fitted",
+]
+
+
+def check_array(
+    X: Any,
+    *,
+    name: str = "X",
+    ensure_2d: bool = True,
+    allow_empty: bool = False,
+    dtype: type = np.float64,
+) -> np.ndarray:
+    """Validate and convert array-like input to a float ndarray.
+
+    Parameters
+    ----------
+    X:
+        Array-like input (list, tuple or ndarray).
+    name:
+        Name used in error messages.
+    ensure_2d:
+        Require a 2-D ``(n_samples, n_features)`` array; a 1-D array is
+        rejected rather than silently reshaped.
+    allow_empty:
+        Whether an array with zero samples is acceptable.
+    dtype:
+        Target dtype of the returned array.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous array of the requested dtype.
+
+    Raises
+    ------
+    ValueError
+        If the array has the wrong dimensionality, is empty when not allowed,
+        or contains NaN / infinite values.
+    """
+    arr = np.asarray(X, dtype=dtype)
+    if ensure_2d and arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D array, got shape {arr.shape}")
+    if not ensure_2d and arr.ndim not in (1, 2):
+        raise ValueError(f"{name} must be 1-D or 2-D, got shape {arr.shape}")
+    if not allow_empty and arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one sample")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def check_binary_labels(y: Any, *, name: str = "y") -> np.ndarray:
+    """Validate binary 0/1 labels and return them as an int array.
+
+    Raises
+    ------
+    ValueError
+        If ``y`` is not 1-D or contains values other than 0 and 1.
+    """
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    uniques = set(np.unique(arr).tolist())
+    if not uniques.issubset({0, 1, 0.0, 1.0, False, True}):
+        raise ValueError(f"{name} must contain only binary labels 0/1, got values {sorted(uniques)}")
+    return arr.astype(np.int64)
+
+
+def check_consistent_length(*arrays: Sequence[Any]) -> None:
+    """Raise ``ValueError`` unless all arrays share the same first dimension."""
+    lengths = [len(a) for a in arrays if a is not None]
+    if len(set(lengths)) > 1:
+        raise ValueError(f"Inconsistent sample counts: {lengths}")
+
+
+def check_fitted(estimator: Any, attribute: str) -> None:
+    """Raise ``RuntimeError`` if ``estimator`` lacks the given fitted attribute."""
+    if getattr(estimator, attribute, None) is None:
+        raise RuntimeError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() before using this method"
+        )

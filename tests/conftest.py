@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.continual.scenario import ContinualScenario
+from repro.datasets.registry import load_dataset
+
+# Hypothesis: keep runs fast and avoid flaky deadline failures on shared CI boxes.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def blobs() -> tuple[np.ndarray, np.ndarray]:
+    """Two well-separated Gaussian blobs: features and binary labels."""
+    generator = np.random.default_rng(7)
+    a = generator.normal(loc=0.0, scale=1.0, size=(150, 8))
+    b = generator.normal(loc=6.0, scale=1.0, size=(150, 8))
+    X = np.vstack([a, b])
+    y = np.concatenate([np.zeros(150, dtype=np.int64), np.ones(150, dtype=np.int64)])
+    order = generator.permutation(X.shape[0])
+    return X[order], y[order]
+
+@pytest.fixture(scope="session")
+def normal_and_anomalies() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normal training blob plus a test set of normal and clearly anomalous points."""
+    generator = np.random.default_rng(11)
+    X_train = generator.normal(0.0, 1.0, size=(400, 6))
+    X_test_normal = generator.normal(0.0, 1.0, size=(100, 6))
+    X_test_anomalous = generator.normal(8.0, 1.0, size=(100, 6))
+    return X_train, X_test_normal, X_test_anomalous
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small synthetic intrusion dataset (shared across tests)."""
+    return load_dataset("wustl_iiot", scale=0.001, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario(tiny_dataset) -> ContinualScenario:
+    """A two-experience scenario built from the tiny dataset."""
+    return ContinualScenario.from_dataset(tiny_dataset, n_experiences=2, seed=0)

@@ -1,0 +1,99 @@
+"""Tests for the extension continual-learning strategies (replay, cumulative)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continual import CumulativeRetraining, ExperienceReplay
+
+
+def _experience(seed: int, shift: float = 0.0):
+    rng = np.random.default_rng(seed)
+    normal = rng.normal(0.0 + shift, 1.0, size=(150, 6))
+    attack = rng.normal(6.0 + shift, 1.0, size=(50, 6))
+    X_train = np.vstack([normal, attack])
+    calibration_X = np.vstack([normal[:15], attack[:15]])
+    calibration_y = np.array([0] * 15 + [1] * 15)
+    X_test = np.vstack(
+        [rng.normal(0.0 + shift, 1.0, size=(40, 6)), rng.normal(6.0 + shift, 1.0, size=(40, 6))]
+    )
+    y_test = np.array([0] * 40 + [1] * 40)
+    return X_train, calibration_X, calibration_y, X_test, y_test
+
+
+@pytest.fixture(params=["replay", "cumulative"], ids=["replay", "cumulative"])
+def strategy(request):
+    factories = {
+        "replay": lambda: ExperienceReplay(
+            6, latent_dim=8, hidden_dims=(16,), epochs=4, memory_size=200, random_state=0
+        ),
+        "cumulative": lambda: CumulativeRetraining(
+            6, latent_dim=8, hidden_dims=(16,), epochs=4, random_state=0
+        ),
+    }
+    return factories[request.param]()
+
+
+class TestExtensionContract:
+    def test_learns_separable_experience(self, strategy):
+        X_train, cal_X, cal_y, X_test, y_test = _experience(0)
+        strategy.fit_experience(X_train, calibration_X=cal_X, calibration_y=cal_y)
+        assert (strategy.predict(X_test) == y_test).mean() > 0.9
+
+    def test_multiple_experiences(self, strategy):
+        for seed in range(2):
+            data = _experience(seed, shift=seed * 1.0)
+            strategy.fit_experience(data[0], calibration_X=data[1], calibration_y=data[2])
+        assert strategy.experience_count == 2
+        predictions = strategy.predict(_experience(1, shift=1.0)[3])
+        assert set(np.unique(predictions)).issubset({0, 1})
+
+    def test_requires_labels_flag(self, strategy):
+        assert strategy.requires_labels is True
+
+
+class TestExperienceReplay:
+    def test_memory_bounded(self):
+        model = ExperienceReplay(
+            6, latent_dim=8, hidden_dims=(16,), epochs=1, memory_size=100, random_state=0
+        )
+        for seed in range(3):
+            data = _experience(seed)
+            model.fit_experience(data[0], calibration_X=data[1], calibration_y=data[2])
+        assert model._memory.shape[0] == 100
+
+    def test_memory_grows_until_capacity(self):
+        model = ExperienceReplay(
+            6, latent_dim=8, hidden_dims=(16,), epochs=1, memory_size=10_000, random_state=0
+        )
+        data = _experience(0)
+        model.fit_experience(data[0], calibration_X=data[1], calibration_y=data[2])
+        assert model._memory.shape[0] == data[0].shape[0]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ExperienceReplay(6, memory_size=0)
+        with pytest.raises(ValueError):
+            ExperienceReplay(6, replay_fraction=1.5)
+
+
+class TestCumulativeRetraining:
+    def test_accumulates_all_data(self):
+        model = CumulativeRetraining(6, latent_dim=8, hidden_dims=(16,), epochs=1, random_state=0)
+        sizes = []
+        for seed in range(2):
+            data = _experience(seed)
+            model.fit_experience(data[0], calibration_X=data[1], calibration_y=data[2])
+            sizes.append(sum(block.shape[0] for block in model._all_data))
+        assert sizes[1] == 2 * sizes[0]
+
+    def test_retains_first_experience_performance(self):
+        """Cumulative retraining should keep detecting the first experience's attacks."""
+        model = CumulativeRetraining(6, latent_dim=8, hidden_dims=(16,), epochs=4, random_state=0)
+        first = _experience(0)
+        second = _experience(1, shift=2.0)
+        model.fit_experience(first[0], calibration_X=first[1], calibration_y=first[2])
+        model.fit_experience(second[0], calibration_X=second[1], calibration_y=second[2])
+        accuracy_on_first = (model.predict(first[3]) == first[4]).mean()
+        assert accuracy_on_first > 0.85

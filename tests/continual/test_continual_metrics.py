@@ -1,0 +1,91 @@
+"""Tests for the result matrix and the continual-learning metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.continual import ResultMatrix, continual_metrics
+
+unit_matrix = npst.arrays(
+    dtype=np.float64,
+    shape=st.integers(2, 6).map(lambda n: (n, n)),
+    elements=st.floats(0, 1),
+)
+
+
+class TestResultMatrix:
+    def test_paper_metric_definitions_on_known_matrix(self):
+        values = np.array(
+            [
+                [0.8, 0.2, 0.1],
+                [0.7, 0.9, 0.3],
+                [0.6, 0.8, 0.95],
+            ]
+        )
+        matrix = ResultMatrix(values)
+        m = 3
+        assert matrix.average() == pytest.approx((0.8 + 0.9 + 0.95) / 3)
+        assert matrix.forward_transfer() == pytest.approx((0.2 + 0.1 + 0.3) / (m * (m - 1) / 2))
+        expected_bwd = ((0.6 - 0.8) + (0.8 - 0.9)) / (m * (m - 1) / 2)
+        assert matrix.backward_transfer() == pytest.approx(expected_bwd)
+
+    def test_identity_like_matrix_has_zero_transfer(self):
+        matrix = ResultMatrix(np.eye(4))
+        assert matrix.average() == 1.0
+        assert matrix.forward_transfer() == 0.0
+        assert matrix.backward_transfer() < 0.0  # forgetting: last row is zero off-diagonal
+
+    def test_constant_matrix_has_zero_backward_transfer(self):
+        matrix = ResultMatrix(np.full((4, 4), 0.5))
+        assert matrix.backward_transfer() == pytest.approx(0.0)
+        assert matrix.forward_transfer() == pytest.approx(0.5)
+
+    def test_single_experience(self):
+        matrix = ResultMatrix(np.array([[0.7]]))
+        assert matrix.average() == pytest.approx(0.7)
+        assert matrix.forward_transfer() == 0.0
+        assert matrix.backward_transfer() == 0.0
+
+    def test_empty_constructor_and_fill(self):
+        matrix = ResultMatrix.empty(2)
+        assert np.all(np.isnan(matrix.values))
+        matrix[0, 0] = 0.5
+        matrix[0, 1] = 0.25
+        matrix[1, 0] = 0.5
+        matrix[1, 1] = 0.75
+        assert matrix[0, 1] == 0.25
+        assert matrix.average() == pytest.approx(0.625)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            ResultMatrix(np.zeros((2, 3)))
+
+    def test_empty_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            ResultMatrix.empty(0)
+
+    def test_summary_keys(self):
+        summary = ResultMatrix(np.eye(3)).summary()
+        assert set(summary) == {"avg", "fwd_transfer", "bwd_transfer"}
+
+    def test_continual_metrics_accepts_plain_array(self):
+        metrics = continual_metrics(np.full((3, 3), 0.4))
+        assert metrics["avg"] == pytest.approx(0.4)
+
+    @given(unit_matrix)
+    def test_metric_bounds(self, values):
+        matrix = ResultMatrix(values)
+        assert 0.0 <= matrix.average() <= 1.0
+        assert 0.0 <= matrix.forward_transfer() <= 1.0
+        assert -1.0 <= matrix.backward_transfer() <= 1.0
+
+    @given(unit_matrix)
+    def test_perfect_retention_has_nonnegative_bwd(self, values):
+        """If the final row dominates the diagonal there is no forgetting."""
+        boosted = values.copy()
+        boosted[-1, :] = 1.0
+        assert ResultMatrix(boosted).backward_transfer() >= 0.0

@@ -1,0 +1,104 @@
+"""Tests for the continual-learning data preparation (paper Sec. III-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continual import ContinualScenario
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("xiiotid", scale=0.001, seed=0)
+
+
+@pytest.fixture(scope="module")
+def scenario(dataset):
+    return ContinualScenario.from_dataset(dataset, n_experiences=3, seed=0)
+
+
+class TestScenarioConstruction:
+    def test_number_of_experiences(self, scenario):
+        assert scenario.n_experiences == 3
+        assert len(scenario) == 3
+        assert [exp.index for exp in scenario] == [0, 1, 2]
+
+    def test_clean_normal_fraction(self, dataset, scenario):
+        expected = round(0.1 * dataset.n_normal)
+        assert abs(scenario.clean_normal.shape[0] - expected) <= 1
+        assert scenario.clean_normal.shape[1] == dataset.n_features
+
+    def test_attack_families_partition_is_disjoint_and_complete(self, dataset, scenario):
+        all_assigned: list[str] = []
+        for experience in scenario:
+            all_assigned.extend(experience.attack_families)
+        assert len(all_assigned) == len(set(all_assigned))
+        assert set(all_assigned) == set(dataset.attack_type_names)
+
+    def test_each_experience_gets_roughly_equal_family_count(self, dataset, scenario):
+        counts = [len(exp.attack_families) for exp in scenario]
+        assert max(counts) - min(counts) <= 1
+
+    def test_train_test_split_sizes(self, scenario):
+        for experience in scenario:
+            total = experience.n_train + experience.n_test
+            assert experience.n_test == pytest.approx(0.3 * total, rel=0.15)
+
+    def test_test_labels_are_binary_and_contain_attacks(self, scenario):
+        for experience in scenario:
+            assert set(np.unique(experience.y_test)).issubset({0, 1})
+            assert experience.y_test.sum() > 0
+            assert (experience.y_test == 0).sum() > 0
+
+    def test_train_data_is_contaminated_but_unlabeled(self, scenario):
+        """Training splits mix normal and attack samples (fractions recorded, no labels exposed)."""
+        for experience in scenario:
+            assert 0.0 < experience.train_attack_fraction < 1.0
+
+    def test_calibration_sets_have_both_classes(self, scenario):
+        for experience in scenario:
+            assert experience.calibration_X is not None
+            assert set(np.unique(experience.calibration_y)) == {0, 1}
+            assert experience.calibration_X.shape[0] <= 2 * 64
+
+    def test_experiences_do_not_share_test_rows(self, scenario):
+        # Attack families are disjoint across experiences and the normal pool
+        # is partitioned, so no test row should appear in two experiences.
+        seen: set[bytes] = set()
+        for experience in scenario:
+            for row in experience.X_test:
+                key = row.tobytes()
+                assert key not in seen
+                seen.add(key)
+
+    def test_deterministic_given_seed(self, dataset):
+        a = ContinualScenario.from_dataset(dataset, n_experiences=3, seed=5)
+        b = ContinualScenario.from_dataset(dataset, n_experiences=3, seed=5)
+        for exp_a, exp_b in zip(a, b):
+            np.testing.assert_allclose(exp_a.X_train, exp_b.X_train)
+            np.testing.assert_array_equal(exp_a.attack_families, exp_b.attack_families)
+
+    def test_metadata_records_family_assignment(self, scenario):
+        assignment = scenario.metadata["family_assignment"]
+        assert set(assignment) == {0, 1, 2}
+
+
+class TestScenarioValidation:
+    def test_too_many_experiences_raises(self, dataset):
+        with pytest.raises(ValueError, match="exceeds the number of attack families"):
+            ContinualScenario.from_dataset(dataset, n_experiences=100, seed=0)
+
+    def test_invalid_fractions_raise(self, dataset):
+        with pytest.raises(ValueError):
+            ContinualScenario.from_dataset(dataset, n_experiences=2, clean_normal_fraction=0.0)
+        with pytest.raises(ValueError):
+            ContinualScenario.from_dataset(dataset, n_experiences=2, test_fraction=1.0)
+
+    def test_zero_experiences_raises(self, dataset):
+        with pytest.raises(ValueError):
+            ContinualScenario.from_dataset(dataset, n_experiences=0)
+
+    def test_getitem(self, scenario):
+        assert scenario[1].index == 1

@@ -1,0 +1,145 @@
+"""Tests for the Continual Feature Extractor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CNDLossConfig, ContinualFeatureExtractor
+
+
+def _separable_batch(seed: int = 0, shift: float = 0.0):
+    rng = np.random.default_rng(seed)
+    normal = rng.normal(0.0 + shift, 1.0, size=(150, 10))
+    attack = rng.normal(5.0 + shift, 1.0, size=(60, 10))
+    X = np.vstack([normal, attack])
+    pseudo = np.array([0] * 150 + [1] * 60)
+    return X, pseudo
+
+
+class TestCFEBasics:
+    def test_encode_shape(self):
+        cfe = ContinualFeatureExtractor(10, latent_dim=6, hidden_dims=(16,), epochs=1, random_state=0)
+        X, pseudo = _separable_batch()
+        cfe.fit_experience(X, pseudo)
+        assert cfe.encode(X).shape == (X.shape[0], 6)
+
+    def test_empty_encode(self):
+        cfe = ContinualFeatureExtractor(10, latent_dim=6, hidden_dims=(16,), epochs=1, random_state=0)
+        assert cfe.encode(np.empty((0, 10))).shape == (0, 6)
+
+    def test_training_loss_decreases(self):
+        cfe = ContinualFeatureExtractor(10, latent_dim=6, hidden_dims=(32,), epochs=8, random_state=0)
+        X, pseudo = _separable_batch()
+        losses = cfe.fit_experience(X, pseudo)
+        assert losses[-1] < losses[0]
+
+    def test_snapshot_stored_per_experience(self):
+        cfe = ContinualFeatureExtractor(10, latent_dim=4, hidden_dims=(16,), epochs=1, random_state=0)
+        for seed in range(3):
+            X, pseudo = _separable_batch(seed)
+            cfe.fit_experience(X, pseudo)
+        assert cfe.n_past_models == 3
+        assert cfe.experience_count == 3
+
+    def test_max_snapshots_enforced(self):
+        cfe = ContinualFeatureExtractor(
+            10, latent_dim=4, hidden_dims=(16,), epochs=1, max_snapshots=2, random_state=0
+        )
+        for seed in range(4):
+            X, pseudo = _separable_batch(seed)
+            cfe.fit_experience(X, pseudo)
+        assert cfe.n_past_models == 2
+
+    def test_mismatched_pseudo_labels_raise(self):
+        cfe = ContinualFeatureExtractor(10, epochs=1, random_state=0)
+        X, _ = _separable_batch()
+        with pytest.raises(ValueError):
+            cfe.fit_experience(X, np.zeros(5))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ContinualFeatureExtractor(0)
+        with pytest.raises(ValueError):
+            ContinualFeatureExtractor(5, epochs=0)
+        with pytest.raises(ValueError):
+            ContinualFeatureExtractor(5, max_snapshots=0)
+
+
+class TestCFELossBehaviour:
+    def test_cluster_separation_increases_class_distance(self):
+        """Training with L_CS pushes overlapping pseudo-classes apart in latent space."""
+        rng = np.random.default_rng(0)
+        normal = rng.normal(0.0, 1.0, size=(150, 10))
+        attack = rng.normal(1.5, 1.0, size=(60, 10))  # heavily overlapping classes
+        X = np.vstack([normal, attack])
+        pseudo = np.array([0] * 150 + [1] * 60)
+
+        def class_gap(embedding: np.ndarray) -> float:
+            centroid_normal = embedding[pseudo == 0].mean(axis=0)
+            centroid_attack = embedding[pseudo == 1].mean(axis=0)
+            spread = embedding[pseudo == 0].std() + 1e-9
+            return float(np.linalg.norm(centroid_normal - centroid_attack) / spread)
+
+        def trained_gap(use_cs: bool) -> float:
+            cfe = ContinualFeatureExtractor(
+                10, latent_dim=6, hidden_dims=(32,), epochs=10, random_state=0,
+                loss_config=CNDLossConfig(use_cluster_separation=use_cs),
+            )
+            cfe.fit_experience(X, pseudo)
+            return class_gap(cfe.encode(X))
+
+        assert trained_gap(True) > trained_gap(False)
+
+    def test_continual_loss_reduces_latent_drift(self):
+        """A large lambda_CL keeps embeddings close to the previous experience's."""
+        first, pseudo_first = _separable_batch(0)
+        second, pseudo_second = _separable_batch(1, shift=3.0)
+        probe = np.random.default_rng(5).normal(size=(40, 10))
+
+        def drift(lambda_cl: float, use_continual: bool) -> float:
+            cfe = ContinualFeatureExtractor(
+                10, latent_dim=6, hidden_dims=(32,), epochs=6, random_state=0,
+                loss_config=CNDLossConfig(lambda_cl=lambda_cl, use_continual=use_continual),
+            )
+            cfe.fit_experience(first, pseudo_first)
+            before = cfe.encode(probe)
+            cfe.fit_experience(second, pseudo_second)
+            after = cfe.encode(probe)
+            return float(np.mean((after - before) ** 2))
+
+        assert drift(1.0, True) < drift(0.0, False)
+
+    def test_reconstruction_loss_trains_decoder(self):
+        """With L_R enabled the decoder's reconstruction improves; without it the decoder is untouched."""
+        X, pseudo = _separable_batch(2)
+
+        def reconstruction_mse(use_reconstruction: bool) -> float:
+            cfe = ContinualFeatureExtractor(
+                10, latent_dim=6, hidden_dims=(32,), epochs=8, random_state=0,
+                loss_config=CNDLossConfig(
+                    lambda_r=1.0 if use_reconstruction else 0.0,
+                    use_reconstruction=use_reconstruction,
+                ),
+            )
+            initial = float(np.mean((cfe.autoencoder(X) - X) ** 2))
+            cfe.fit_experience(X, pseudo)
+            final = float(np.mean((cfe.autoencoder(X) - X) ** 2))
+            return final - initial
+
+        assert reconstruction_mse(True) < reconstruction_mse(False)
+
+    def test_single_pseudo_class_still_trains(self):
+        """With only one pseudo-class the triplet term is inactive but training must not fail."""
+        X, _ = _separable_batch(3)
+        cfe = ContinualFeatureExtractor(10, latent_dim=6, hidden_dims=(16,), epochs=2, random_state=0)
+        losses = cfe.fit_experience(X, np.zeros(X.shape[0], dtype=int))
+        assert len(losses) == 2
+        assert np.isfinite(losses).all()
+
+    def test_training_losses_recorded(self):
+        X, pseudo = _separable_batch(4)
+        cfe = ContinualFeatureExtractor(10, latent_dim=6, hidden_dims=(16,), epochs=3, random_state=0)
+        cfe.fit_experience(X, pseudo)
+        assert len(cfe.training_losses_) == 1
+        assert len(cfe.training_losses_[0]) == 3

@@ -1,0 +1,198 @@
+"""Tests for the synthetic intrusion dataset substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    AttackFamily,
+    Dataset,
+    DatasetSpec,
+    SyntheticIDSGenerator,
+    dataset_summary_table,
+    get_dataset_spec,
+    list_datasets,
+    load_dataset,
+)
+from repro.datasets.base import NORMAL_LABEL
+from repro.datasets.registry import DATASET_NAMES, PAPER_EXPERIENCE_COUNTS
+
+
+class TestAttackFamily:
+    def test_valid_family(self):
+        family = AttackFamily("dos", proportion=2.0, severity=3.0)
+        assert family.name == "dos"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"proportion": 0.0},
+            {"severity": -1.0},
+            {"subspace_leakage": 1.5},
+            {"feature_fraction": 0.0},
+        ],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            AttackFamily("bad", **kwargs)
+
+
+class TestDatasetSpec:
+    def test_properties(self):
+        spec = get_dataset_spec("wustl_iiot")
+        assert spec.n_attack_types == 4
+        assert 0.9 < spec.normal_fraction < 0.95
+
+    def test_duplicate_family_names_rejected(self):
+        families = (AttackFamily("dos"), AttackFamily("dos"))
+        with pytest.raises(ValueError, match="unique"):
+            DatasetSpec(
+                name="x",
+                n_features=5,
+                reference_size=100,
+                reference_normal=50,
+                reference_attack=50,
+                attack_families=families,
+            )
+
+    def test_requires_attack_families(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(
+                name="x",
+                n_features=5,
+                reference_size=100,
+                reference_normal=50,
+                reference_attack=50,
+                attack_families=(),
+            )
+
+
+class TestRegistry:
+    def test_four_datasets_available(self):
+        assert sorted(list_datasets()) == sorted(DATASET_NAMES)
+
+    @pytest.mark.parametrize("alias,expected", [
+        ("X-IIoTID", "xiiotid"),
+        ("WUSTL-IIoT", "wustl_iiot"),
+        ("CICIDS", "cicids2017"),
+        ("unsw", "unsw_nb15"),
+    ])
+    def test_aliases_resolve(self, alias, expected):
+        assert get_dataset_spec(alias).name == expected
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_dataset_spec("kdd99")
+
+    def test_attack_type_counts_match_paper(self):
+        expected = {"xiiotid": 18, "wustl_iiot": 4, "cicids2017": 15, "unsw_nb15": 10}
+        for name, count in expected.items():
+            assert get_dataset_spec(name).n_attack_types == count
+
+    def test_experience_counts_match_paper(self):
+        assert PAPER_EXPERIENCE_COUNTS["wustl_iiot"] == 4
+        assert PAPER_EXPERIENCE_COUNTS["xiiotid"] == 5
+
+    def test_summary_table_covers_all_datasets(self):
+        rows = dataset_summary_table(scale=0.001, seed=0)
+        assert {row["name"] for row in rows} == set(DATASET_NAMES)
+
+
+class TestGeneratedDatasets:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_generation_basic_invariants(self, name):
+        dataset = load_dataset(name, scale=0.001, seed=0)
+        spec = get_dataset_spec(name)
+        assert dataset.n_features == spec.n_features
+        assert dataset.n_samples == dataset.n_normal + dataset.n_attack
+        assert np.all(np.isfinite(dataset.X))
+        assert set(np.unique(dataset.y)).issubset({0, 1})
+        # Every attack family present in the generated data.
+        assert len(dataset.attack_type_names) == spec.n_attack_types
+
+    def test_normal_samples_tagged_normal(self, tiny_dataset):
+        assert np.all(tiny_dataset.attack_types[tiny_dataset.y == 0] == NORMAL_LABEL)
+        assert np.all(tiny_dataset.attack_types[tiny_dataset.y == 1] != NORMAL_LABEL)
+
+    def test_deterministic_for_seed(self):
+        a = load_dataset("unsw_nb15", scale=0.001, seed=3)
+        b = load_dataset("unsw_nb15", scale=0.001, seed=3)
+        np.testing.assert_allclose(a.X, b.X)
+        np.testing.assert_array_equal(a.attack_types, b.attack_types)
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("unsw_nb15", scale=0.001, seed=1)
+        b = load_dataset("unsw_nb15", scale=0.001, seed=2)
+        assert not np.allclose(a.X[: min(len(a.X), len(b.X))], b.X[: min(len(a.X), len(b.X))])
+
+    def test_scale_controls_size(self):
+        small = load_dataset("cicids2017", scale=0.001, seed=0)
+        large = load_dataset("cicids2017", scale=0.003, seed=0)
+        assert large.n_samples > small.n_samples
+
+    def test_normal_attack_proportions_roughly_match_reference(self):
+        dataset = load_dataset("wustl_iiot", scale=0.005, seed=0)
+        spec = get_dataset_spec("wustl_iiot")
+        generated_fraction = dataset.n_normal / dataset.n_samples
+        # Minimum per-family counts inflate the attack share slightly at small
+        # scales, so allow a generous band around the reference fraction.
+        assert abs(generated_fraction - spec.normal_fraction) < 0.1
+
+    def test_attacks_separable_from_normal_on_average(self, tiny_dataset):
+        """Attack families must deviate from normal traffic (otherwise no experiment works)."""
+        normal = tiny_dataset.normal_data()
+        attacks = tiny_dataset.attack_data()
+        normal_mean = normal.mean(axis=0)
+        distance_normal = np.linalg.norm(normal - normal_mean, axis=1).mean()
+        distance_attack = np.linalg.norm(attacks - normal_mean, axis=1).mean()
+        assert distance_attack > distance_normal
+
+    def test_attack_data_filter_by_family(self, tiny_dataset):
+        family = tiny_dataset.attack_type_names[0]
+        subset = tiny_dataset.attack_data(family)
+        assert subset.shape[0] == int(np.sum(tiny_dataset.attack_types == family))
+
+    def test_subset_preserves_alignment(self, tiny_dataset):
+        indices = np.arange(0, tiny_dataset.n_samples, 2)
+        subset = tiny_dataset.subset(indices)
+        assert subset.n_samples == len(indices)
+        np.testing.assert_array_equal(subset.y, tiny_dataset.y[indices])
+
+    def test_summary_contains_reference_sizes(self, tiny_dataset):
+        summary = tiny_dataset.summary()
+        assert summary["reference_size"] == 1_194_464
+        assert summary["n_samples"] == tiny_dataset.n_samples
+
+
+class TestGeneratorValidation:
+    def test_invalid_scale_raises(self):
+        spec = get_dataset_spec("wustl_iiot")
+        with pytest.raises(ValueError):
+            SyntheticIDSGenerator(spec, scale=0.0)
+        with pytest.raises(ValueError):
+            SyntheticIDSGenerator(spec, scale=1.5)
+
+    def test_min_samples_per_family_enforced(self):
+        spec = get_dataset_spec("cicids2017")
+        dataset = SyntheticIDSGenerator(spec, scale=0.0005, min_samples_per_family=25).generate(0)
+        for family in dataset.attack_type_names:
+            assert np.sum(dataset.attack_types == family) >= 25
+
+    def test_dataset_container_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                X=np.zeros((3, 2)),
+                y=np.zeros(4, dtype=int),
+                attack_types=np.array(["normal"] * 3),
+                feature_names=["a", "b"],
+            )
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                X=np.zeros((3, 2)),
+                y=np.zeros(3, dtype=int),
+                attack_types=np.array(["normal"] * 3),
+                feature_names=["a"],
+            )

@@ -1,0 +1,100 @@
+"""Tests for drift injection and the flow-stream iterator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.streaming import FlowStream, inject_drift
+
+
+class TestInjectDrift:
+    def test_start_unchanged_end_drifted(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 10))
+        drifted = inject_drift(X, strength=2.0, random_state=0)
+        np.testing.assert_allclose(drifted[0], X[0])
+        assert not np.allclose(drifted[-1], X[-1])
+
+    def test_input_not_modified(self):
+        X = np.random.default_rng(1).normal(size=(100, 5))
+        original = X.copy()
+        inject_drift(X, strength=1.0, random_state=0)
+        np.testing.assert_array_equal(X, original)
+
+    def test_zero_strength_is_identity(self):
+        X = np.random.default_rng(2).normal(size=(50, 4))
+        np.testing.assert_allclose(inject_drift(X, strength=0.0), X)
+
+    def test_shift_moves_mean_of_late_samples(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(2000, 6))
+        drifted = inject_drift(X, strength=3.0, fraction_of_features=1.0, random_state=0)
+        early = np.abs(drifted[:200].mean(axis=0) - X[:200].mean(axis=0)).max()
+        late = np.abs(drifted[-200:].mean(axis=0) - X[-200:].mean(axis=0)).max()
+        assert late > early
+        assert late > 1.0
+
+    def test_scale_kind(self):
+        rng = np.random.default_rng(4)
+        X = np.abs(rng.normal(size=(1000, 4))) + 1.0
+        drifted = inject_drift(X, strength=1.0, kind="scale", fraction_of_features=1.0, random_state=0)
+        assert drifted[-100:].std() > X[-100:].std()
+
+    def test_invalid_arguments(self):
+        X = np.zeros((10, 3))
+        with pytest.raises(ValueError):
+            inject_drift(X, strength=-1.0)
+        with pytest.raises(ValueError):
+            inject_drift(X, fraction_of_features=0.0)
+        with pytest.raises(ValueError):
+            inject_drift(X, kind="rotate")
+        with pytest.raises(ValueError):
+            inject_drift(np.zeros(5))
+
+    def test_deterministic_given_seed(self):
+        X = np.random.default_rng(5).normal(size=(100, 8))
+        a = inject_drift(X, strength=1.0, random_state=7)
+        b = inject_drift(X, strength=1.0, random_state=7)
+        np.testing.assert_allclose(a, b)
+
+
+class TestFlowStream:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("unsw_nb15", scale=0.001, seed=0)
+
+    def test_batches_cover_dataset(self, dataset):
+        stream = FlowStream(dataset, batch_size=100, random_state=0)
+        total = sum(batch.shape[0] for batch, _ in stream)
+        assert total == dataset.n_samples
+        assert len(stream) == int(np.ceil(dataset.n_samples / 100))
+
+    def test_features_and_labels_aligned(self, dataset):
+        stream = FlowStream(dataset, batch_size=64, shuffle=False, random_state=0)
+        X_all = np.vstack([batch for batch, _ in stream])
+        y_all = np.concatenate([labels for _, labels in stream])
+        np.testing.assert_allclose(X_all, dataset.X)
+        np.testing.assert_array_equal(y_all, dataset.y)
+
+    def test_batches_with_types(self, dataset):
+        stream = FlowStream(dataset, batch_size=128, random_state=0)
+        for X_batch, y_batch, types in stream.batches_with_types():
+            assert X_batch.shape[0] == y_batch.shape[0] == types.shape[0]
+            assert np.all((types == "normal") == (y_batch == 0))
+
+    def test_drift_applied(self, dataset):
+        plain = FlowStream(dataset, batch_size=256, drift_strength=0.0, random_state=0)
+        drifted = FlowStream(dataset, batch_size=256, drift_strength=2.0, random_state=0)
+        X_plain = np.vstack([batch for batch, _ in plain])
+        X_drifted = np.vstack([batch for batch, _ in drifted])
+        # Early samples nearly identical, late samples visibly moved.
+        assert np.allclose(X_plain[0], X_drifted[0])
+        assert not np.allclose(X_plain[-1], X_drifted[-1])
+
+    def test_invalid_arguments(self, dataset):
+        with pytest.raises(ValueError):
+            FlowStream(dataset, batch_size=0)
+        with pytest.raises(ValueError):
+            FlowStream(dataset, drift_strength=-0.5)

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface regenerating tables and figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_config, main
+
+
+class TestBuildConfig:
+    def _args(self, **overrides):
+        import argparse
+
+        defaults = dict(
+            experiment="table1",
+            profile="quick",
+            scale=None,
+            epochs=None,
+            seed=None,
+            datasets=None,
+            experiences=None,
+            output=None,
+        )
+        defaults.update(overrides)
+        return argparse.Namespace(**defaults)
+
+    def test_profile_quick(self):
+        config = build_config(self._args())
+        assert config.n_experiences_override == 2
+
+    def test_overrides_applied(self):
+        config = build_config(
+            self._args(scale=0.001, epochs=2, seed=5, datasets=["wustl_iiot"], experiences=3)
+        )
+        assert config.scale == 0.001
+        assert config.epochs == 2
+        assert config.seed == 5
+        assert config.datasets == ("wustl_iiot",)
+        assert config.n_experiences_override == 3
+
+
+class TestCLIMain:
+    def test_experiment_registry_covers_all_tables_and_figures(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "fig1",
+            "fig3",
+            "table2",
+            "fig4",
+            "fig5",
+            "table3",
+            "table4",
+        }
+
+    def test_table1_prints_table(self, capsys):
+        exit_code = main(["table1", "--profile", "quick", "--scale", "0.001"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Table I" in captured.out
+
+    def test_output_directory_written(self, tmp_path, capsys):
+        exit_code = main(
+            ["table1", "--profile", "quick", "--scale", "0.001", "--output", str(tmp_path)]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_fig3_quick_run(self, capsys):
+        exit_code = main(
+            [
+                "fig3",
+                "--profile",
+                "quick",
+                "--scale",
+                "0.0015",
+                "--epochs",
+                "1",
+                "--datasets",
+                "wustl_iiot",
+                "--experiences",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "CND-IDS" in captured.out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,121 @@
+"""Tests for the cached experiment runner layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.continual import ADCN, LwF
+from repro.core import CNDIDS
+from repro.core.losses import CNDLossConfig
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import (
+    ABLATION_VARIANTS,
+    build_continual_method,
+    build_scenario,
+    build_static_detector,
+    clear_cache,
+    get_continual_result,
+    get_scenario,
+    get_static_result,
+    inference_batch,
+)
+from repro.novelty import (
+    DeepIsolationForest,
+    IsolationForest,
+    LocalOutlierFactor,
+    OneClassSVM,
+    PCAReconstructionDetector,
+)
+
+QUICK = ExperimentConfig.quick(
+    datasets=("wustl_iiot",), scale=0.0015, epochs=1, latent_dim=8, hidden_dims=(16,)
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestBuilders:
+    def test_build_scenario_uses_config(self):
+        scenario = build_scenario(QUICK, "wustl_iiot")
+        assert scenario.n_experiences == 2
+
+    @pytest.mark.parametrize(
+        "name,expected_type",
+        [("ADCN", ADCN), ("LwF", LwF), ("CND-IDS", CNDIDS)],
+    )
+    def test_build_continual_method_types(self, name, expected_type):
+        method = build_continual_method(name, 10, QUICK)
+        assert isinstance(method, expected_type)
+
+    def test_build_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            build_continual_method("nonexistent", 10, QUICK)
+
+    def test_build_cnd_ids_with_ablation_config(self):
+        method = build_continual_method(
+            "CND-IDS", 10, QUICK, loss_config=CNDLossConfig.without_reconstruction()
+        )
+        assert method.loss_config.use_reconstruction is False
+
+    def test_ablation_variant_names_resolve(self):
+        for name, config in ABLATION_VARIANTS.items():
+            method = build_continual_method(name, 10, QUICK)
+            assert isinstance(method, CNDIDS)
+            assert method.loss_config.use_cluster_separation == config.use_cluster_separation
+
+    @pytest.mark.parametrize(
+        "name,expected_type",
+        [
+            ("LOF", LocalOutlierFactor),
+            ("OCSVM", OneClassSVM),
+            ("DIF", DeepIsolationForest),
+            ("PCA", PCAReconstructionDetector),
+            ("IForest", IsolationForest),
+        ],
+    )
+    def test_build_static_detector_types(self, name, expected_type):
+        assert isinstance(build_static_detector(name, QUICK), expected_type)
+
+    def test_build_unknown_detector_raises(self):
+        with pytest.raises(KeyError):
+            build_static_detector("nonexistent", QUICK)
+
+
+class TestCaching:
+    def test_scenario_cached(self):
+        assert get_scenario(QUICK, "wustl_iiot") is get_scenario(QUICK, "wustl_iiot")
+
+    def test_continual_result_cached(self):
+        first = get_continual_result(QUICK, "wustl_iiot", "CND-IDS")
+        second = get_continual_result(QUICK, "wustl_iiot", "CND-IDS")
+        assert first is second
+
+    def test_static_result_cached(self):
+        first = get_static_result(QUICK, "wustl_iiot", "PCA")
+        assert first is get_static_result(QUICK, "wustl_iiot", "PCA")
+
+    def test_variant_label_creates_distinct_entries(self):
+        full = get_continual_result(QUICK, "wustl_iiot", "CND-IDS")
+        ablated = get_continual_result(
+            QUICK,
+            "wustl_iiot",
+            "CND-IDS",
+            loss_config=CNDLossConfig.without_reconstruction(),
+            variant_label="CND-IDS (w/o LR)",
+        )
+        assert full is not ablated
+        assert ablated.method_name == "CND-IDS (w/o LR)"
+
+    def test_clear_cache(self):
+        first = get_scenario(QUICK, "wustl_iiot")
+        clear_cache()
+        assert get_scenario(QUICK, "wustl_iiot") is not first
+
+    def test_inference_batch_size_capped(self):
+        batch = inference_batch(QUICK, "wustl_iiot", size=50)
+        assert batch.shape[0] <= 50

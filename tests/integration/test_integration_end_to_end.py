@@ -1,0 +1,95 @@
+"""Cross-module integration tests exercising the full CND-IDS pipeline.
+
+These tests run the complete data-generation -> scenario -> training ->
+evaluation chain at a small scale and assert the qualitative findings of the
+paper rather than exact numbers: CND-IDS clearly beats the UCL baselines,
+behaves sensibly across experiences, and the ablation shows the expected
+forgetting pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continual import ADCN, ContinualScenario, LwF
+from repro.core import CNDIDS, CNDLossConfig
+from repro.datasets import load_dataset
+from repro.experiments import run_continual_method, run_static_detector
+from repro.novelty import PCAReconstructionDetector
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    dataset = load_dataset("wustl_iiot", scale=0.003, seed=0)
+    return ContinualScenario.from_dataset(dataset, n_experiences=3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def cnd_result(scenario):
+    model = CNDIDS(
+        input_dim=scenario.n_features,
+        latent_dim=32,
+        hidden_dims=(64,),
+        epochs=6,
+        random_state=0,
+    )
+    return run_continual_method(model, scenario)
+
+
+class TestEndToEndCNDIDS:
+    def test_reasonable_detection_quality(self, cnd_result):
+        assert cnd_result.avg_f1 > 0.55
+        assert cnd_result.fwd_transfer > 0.4
+        assert cnd_result.avg_prauc > 0.5
+
+    def test_no_catastrophic_forgetting(self, cnd_result):
+        """The latent-regularisation loss must keep BwdTrans near or above zero."""
+        assert cnd_result.bwd_transfer > -0.1
+
+    def test_result_matrix_complete(self, cnd_result, scenario):
+        assert cnd_result.f1_matrix.values.shape == (3, 3)
+        assert np.all(np.isfinite(cnd_result.f1_matrix.values))
+
+
+class TestPaperHeadlineComparisons:
+    def test_cnd_ids_beats_ucl_baselines(self, scenario, cnd_result):
+        """The paper's headline: large AVG and FwdTrans improvements over ADCN / LwF."""
+        for baseline_cls in (ADCN, LwF):
+            baseline = baseline_cls(
+                scenario.n_features,
+                latent_dim=32,
+                hidden_dims=(64,),
+                epochs=6,
+                random_state=0,
+            )
+            baseline_result = run_continual_method(baseline, scenario)
+            assert cnd_result.avg_f1 > baseline_result.avg_f1
+            assert cnd_result.fwd_transfer > baseline_result.fwd_transfer
+
+    def test_cnd_ids_at_least_matches_static_pca(self, scenario, cnd_result):
+        """Continually updating the feature space should not hurt vs. raw PCA."""
+        static = run_static_detector(
+            PCAReconstructionDetector(n_components=0.95), scenario, detector_name="PCA"
+        )
+        assert cnd_result.avg_f1 > 0.9 * static.mean_f1
+
+
+class TestAblationShape:
+    def test_removing_cl_loss_increases_forgetting(self, scenario):
+        """Without L_R and L_CL the model forgets more (lower BwdTrans), as in Table III."""
+
+        def bwd(config: CNDLossConfig) -> float:
+            model = CNDIDS(
+                input_dim=scenario.n_features,
+                latent_dim=32,
+                hidden_dims=(64,),
+                epochs=6,
+                loss_config=config,
+                random_state=0,
+            )
+            return run_continual_method(model, scenario, compute_prauc=False).bwd_transfer
+
+        full = bwd(CNDLossConfig.full())
+        stripped = bwd(CNDLossConfig.without_reconstruction_and_continual())
+        assert full >= stripped - 0.02

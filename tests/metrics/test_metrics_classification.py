@@ -1,0 +1,111 @@
+"""Tests for threshold-based classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    fbeta_score,
+    precision_score,
+    recall_score,
+)
+
+binary_labels = st.lists(st.integers(0, 1), min_size=1, max_size=60)
+
+
+class TestConfusionMatrix:
+    def test_known_counts(self):
+        y_true = np.array([0, 0, 1, 1, 1, 0])
+        y_pred = np.array([0, 1, 1, 0, 1, 0])
+        cm = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(cm, [[2, 1], [1, 2]])
+
+    def test_sums_to_sample_count(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 2, 50)
+        y_pred = rng.integers(0, 2, 50)
+        assert confusion_matrix(y_true, y_pred).sum() == 50
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0, 1, 1])
+
+    def test_non_binary_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 2], [0, 1])
+
+
+class TestScalarMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 1, 0, 1])
+        assert accuracy_score(y, y) == 1.0
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+
+    def test_all_wrong(self):
+        y_true = np.array([0, 1, 0, 1])
+        y_pred = 1 - y_true
+        assert accuracy_score(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+    def test_known_f1_value(self):
+        # tp=2, fp=1, fn=1 -> precision=2/3, recall=2/3, f1=2/3
+        y_true = np.array([1, 1, 1, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0])
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_no_positive_predictions_gives_zero_precision(self):
+        y_true = np.array([1, 0, 1])
+        y_pred = np.array([0, 0, 0])
+        assert precision_score(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+    def test_no_positive_labels_gives_zero_recall(self):
+        y_true = np.array([0, 0, 0])
+        y_pred = np.array([1, 0, 0])
+        assert recall_score(y_true, y_pred) == 0.0
+
+    def test_fbeta_weights_recall(self):
+        # High recall, low precision: F2 should exceed F0.5.
+        y_true = np.array([1, 1, 1, 1, 0, 0, 0, 0])
+        y_pred = np.array([1, 1, 1, 1, 1, 1, 1, 0])
+        f2 = fbeta_score(y_true, y_pred, beta=2.0)
+        f_half = fbeta_score(y_true, y_pred, beta=0.5)
+        assert f2 > f_half
+
+    def test_fbeta_invalid_beta(self):
+        with pytest.raises(ValueError):
+            fbeta_score([0, 1], [0, 1], beta=0.0)
+
+    def test_classification_report_keys(self):
+        report = classification_report(np.array([0, 1, 1]), np.array([0, 1, 0]))
+        assert set(report) == {"accuracy", "precision", "recall", "f1"}
+
+    @given(binary_labels, st.randoms(use_true_random=False))
+    def test_f1_bounded(self, labels, rnd):
+        y_true = np.array(labels)
+        y_pred = np.array([rnd.randint(0, 1) for _ in labels])
+        value = f1_score(y_true, y_pred)
+        assert 0.0 <= value <= 1.0
+
+    @given(binary_labels)
+    def test_f1_is_harmonic_mean(self, labels):
+        y_true = np.array(labels)
+        y_pred = np.roll(y_true, 1)
+        precision = precision_score(y_true, y_pred)
+        recall = recall_score(y_true, y_pred)
+        f1 = f1_score(y_true, y_pred)
+        if precision + recall > 0:
+            assert f1 == pytest.approx(2 * precision * recall / (precision + recall))
+        else:
+            assert f1 == 0.0

@@ -1,0 +1,95 @@
+"""Tests for the additional IDS-oriented metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    balanced_accuracy_score,
+    detection_rate_at_fpr,
+    false_positive_rate,
+    fpr_at_recall,
+    matthews_corrcoef,
+)
+
+
+class TestMatthewsCorrcoef:
+    def test_perfect_prediction_is_one(self):
+        y = np.array([0, 1, 1, 0, 1])
+        assert matthews_corrcoef(y, y) == pytest.approx(1.0)
+
+    def test_inverted_prediction_is_minus_one(self):
+        y = np.array([0, 1, 1, 0])
+        assert matthews_corrcoef(y, 1 - y) == pytest.approx(-1.0)
+
+    def test_degenerate_prediction_is_zero(self):
+        y_true = np.array([0, 1, 1, 0])
+        assert matthews_corrcoef(y_true, np.zeros(4, dtype=int)) == 0.0
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=40))
+    def test_bounded(self, labels):
+        y_true = np.array(labels)
+        y_pred = np.roll(y_true, 1)
+        assert -1.0 <= matthews_corrcoef(y_true, y_pred) <= 1.0
+
+
+class TestBalancedAccuracyAndFPR:
+    def test_balanced_accuracy_known_value(self):
+        y_true = np.array([0, 0, 0, 0, 1, 1])
+        y_pred = np.array([0, 0, 1, 1, 1, 0])
+        # TNR = 0.5, TPR = 0.5
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_false_positive_rate_known_value(self):
+        y_true = np.array([0, 0, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 1, 1])
+        assert false_positive_rate(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_fpr_zero_when_no_normals(self):
+        assert false_positive_rate(np.ones(3, dtype=int), np.ones(3, dtype=int)) == 0.0
+
+
+class TestOperatingPointMetrics:
+    def _scores(self):
+        y_true = np.array([0] * 90 + [1] * 10)
+        scores = np.concatenate([np.linspace(0, 1, 90), np.linspace(2, 3, 10)])
+        return y_true, scores
+
+    def test_perfectly_separable_scores(self):
+        y_true, scores = self._scores()
+        assert detection_rate_at_fpr(y_true, scores, max_fpr=0.01) == pytest.approx(1.0)
+        assert fpr_at_recall(y_true, scores, min_recall=1.0) == pytest.approx(0.0)
+
+    def test_random_scores_tradeoff(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 2, 2000)
+        scores = rng.normal(size=2000)
+        rate = detection_rate_at_fpr(y_true, scores, max_fpr=0.1)
+        assert 0.0 <= rate <= 0.3  # roughly the allowed FPR for random ranking
+        assert fpr_at_recall(y_true, scores, min_recall=0.9) > 0.5
+
+    def test_unreachable_recall_returns_one(self):
+        y_true = np.array([0, 0, 1])
+        scores = np.array([0.9, 0.8, 0.1])  # attack scored lowest
+        assert fpr_at_recall(y_true, scores, min_recall=1.0) == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        y_true, scores = self._scores()
+        with pytest.raises(ValueError):
+            detection_rate_at_fpr(y_true, scores, max_fpr=1.5)
+        with pytest.raises(ValueError):
+            fpr_at_recall(y_true, scores, min_recall=-0.1)
+
+    @given(st.integers(5, 60))
+    def test_monotone_in_budget(self, n):
+        rng = np.random.default_rng(n)
+        y_true = rng.integers(0, 2, n)
+        if y_true.sum() == 0:
+            y_true[0] = 1
+        scores = rng.normal(size=n)
+        loose = detection_rate_at_fpr(y_true, scores, max_fpr=0.5)
+        tight = detection_rate_at_fpr(y_true, scores, max_fpr=0.05)
+        assert loose >= tight

@@ -1,0 +1,157 @@
+"""K-Means, elbow-method and dataset-split tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml import KMeans, elbow_method, train_test_split
+from repro.ml.splits import stratified_indices
+
+
+def _three_blobs(seed: int = 0, n_per_blob: int = 60):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    X = np.vstack([center + rng.normal(scale=0.5, size=(n_per_blob, 2)) for center in centers])
+    labels = np.repeat(np.arange(3), n_per_blob)
+    return X, labels
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        X, true_labels = _three_blobs()
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        # Every true blob should map to exactly one predicted cluster.
+        for blob in range(3):
+            blob_assignments = model.labels_[true_labels == blob]
+            assert len(np.unique(blob_assignments)) == 1
+
+    def test_inertia_decreases_with_more_clusters(self):
+        X, _ = _three_blobs()
+        inertia_2 = KMeans(n_clusters=2, random_state=0).fit(X).inertia_
+        inertia_6 = KMeans(n_clusters=6, random_state=0).fit(X).inertia_
+        assert inertia_6 < inertia_2
+
+    def test_predict_assigns_nearest_center(self):
+        X, _ = _three_blobs()
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        prediction = model.predict(np.array([[10.0, 0.5]]))
+        expected = np.argmin(np.linalg.norm(model.cluster_centers_ - np.array([10.0, 0.5]), axis=1))
+        assert prediction[0] == expected
+
+    def test_transform_returns_distances(self):
+        X, _ = _three_blobs()
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        distances = model.transform(X[:5])
+        assert distances.shape == (5, 3)
+        assert np.all(distances >= 0.0)
+
+    def test_fit_predict_matches_labels(self):
+        X, _ = _three_blobs()
+        model = KMeans(n_clusters=3, random_state=1)
+        labels = model.fit_predict(X)
+        np.testing.assert_array_equal(labels, model.labels_)
+
+    def test_more_clusters_than_samples_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=10).fit(np.zeros((3, 2)))
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2, n_init=0)
+
+    def test_duplicate_points_handled(self):
+        X = np.vstack([np.zeros((10, 2)), np.ones((10, 2))])
+        model = KMeans(n_clusters=2, random_state=0).fit(X)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(n_clusters=2).predict(np.zeros((2, 2)))
+
+    def test_deterministic_given_seed(self):
+        X, _ = _three_blobs()
+        labels_a = KMeans(n_clusters=3, random_state=5).fit(X).labels_
+        labels_b = KMeans(n_clusters=3, random_state=5).fit(X).labels_
+        np.testing.assert_array_equal(labels_a, labels_b)
+
+
+class TestElbowMethod:
+    def test_finds_three_clusters_in_three_blobs(self):
+        X, _ = _three_blobs()
+        best_k = elbow_method(X, range(2, 8), random_state=0)
+        assert best_k == 3
+
+    def test_single_candidate_returned(self):
+        X, _ = _three_blobs()
+        assert elbow_method(X, [4], random_state=0) == 4
+
+    def test_candidates_capped_by_sample_count(self):
+        X = np.random.default_rng(0).normal(size=(5, 2))
+        assert elbow_method(X, range(2, 20), random_state=0) <= 5
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            elbow_method(np.zeros((5, 2)), [])
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(100, 1).astype(float)
+        X_train, X_test = train_test_split(X, test_size=0.2, random_state=0)
+        assert X_test.shape[0] == 20
+        assert X_train.shape[0] == 80
+
+    def test_no_overlap_and_full_coverage(self):
+        X = np.arange(50).reshape(50, 1).astype(float)
+        X_train, X_test = train_test_split(X, test_size=0.3, random_state=1)
+        combined = np.sort(np.concatenate([X_train.ravel(), X_test.ravel()]))
+        np.testing.assert_array_equal(combined, X.ravel())
+
+    def test_multiple_arrays_stay_aligned(self):
+        X = np.arange(40).reshape(40, 1).astype(float)
+        y = np.arange(40)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25, random_state=2)
+        np.testing.assert_array_equal(X_train.ravel(), y_train)
+        np.testing.assert_array_equal(X_test.ravel(), y_test)
+
+    def test_stratified_preserves_class_balance(self):
+        rng = np.random.default_rng(0)
+        y = np.array([0] * 90 + [1] * 10)
+        X = rng.normal(size=(100, 3))
+        _, _, y_train, y_test = train_test_split(X, y, test_size=0.3, stratify=y, random_state=0)
+        assert 1 <= y_test.sum() <= 5  # rare class kept in proportion
+        assert y_train.sum() >= 5
+
+    def test_invalid_test_size_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), test_size=0.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), np.zeros(9), test_size=0.3)
+
+    @given(st.integers(4, 60), st.floats(0.1, 0.9))
+    def test_partition_property(self, n, test_size):
+        X = np.arange(n).reshape(n, 1).astype(float)
+        X_train, X_test = train_test_split(X, test_size=test_size, random_state=0)
+        assert X_train.shape[0] + X_test.shape[0] == n
+        assert X_train.shape[0] >= 1
+        assert X_test.shape[0] >= 1
+
+
+class TestStratifiedIndices:
+    def test_each_class_in_both_splits(self):
+        y = np.array([0] * 20 + [1] * 5)
+        train_idx, test_idx = stratified_indices(y, 0.3, np.random.default_rng(0))
+        assert set(np.unique(y[train_idx])) == {0, 1}
+        assert set(np.unique(y[test_idx])) == {0, 1}
+
+    def test_singleton_class_goes_to_train(self):
+        y = np.array([0, 0, 0, 0, 1])
+        train_idx, test_idx = stratified_indices(y, 0.4, np.random.default_rng(0))
+        assert 4 in train_idx and 4 not in test_idx

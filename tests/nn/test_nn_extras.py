@@ -1,0 +1,158 @@
+"""Tests for BatchNorm1d, learning-rate schedulers and early stopping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm1d,
+    EarlyStopping,
+    ExponentialLR,
+    Linear,
+    MSELoss,
+    SGD,
+    Sequential,
+    StepLR,
+)
+from repro.nn.module import Parameter
+
+
+class TestBatchNorm:
+    def test_training_output_is_normalised(self):
+        rng = np.random.default_rng(0)
+        layer = BatchNorm1d(5)
+        layer.train()
+        x = rng.normal(3.0, 4.0, size=(200, 5))
+        out = layer(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_mode_uses_running_statistics(self):
+        rng = np.random.default_rng(1)
+        layer = BatchNorm1d(3, momentum=1.0)
+        layer.train()
+        x = rng.normal(2.0, 1.5, size=(500, 3))
+        layer(x)
+        layer.eval()
+        out = layer(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=0.05)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        layer = BatchNorm1d(4)
+        layer.train()
+        x = rng.normal(size=(12, 4))
+        target = rng.normal(size=(12, 4))
+        loss_fn = MSELoss()
+
+        def loss_value() -> float:
+            return loss_fn(layer(x), target)[0]
+
+        _, grad_out = loss_fn(layer(x), target)
+        layer.zero_grad()
+        grad_in = layer.backward(grad_out)
+
+        numerical = np.zeros_like(x)
+        eps = 1e-6
+        for index in np.ndindex(*x.shape):
+            original = x[index]
+            x[index] = original + eps
+            plus = loss_value()
+            x[index] = original - eps
+            minus = loss_value()
+            x[index] = original
+            numerical[index] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(grad_in, numerical, atol=1e-5)
+
+    def test_gamma_beta_gradients_accumulate(self):
+        layer = BatchNorm1d(3)
+        layer.train()
+        x = np.random.default_rng(3).normal(size=(10, 3))
+        out = layer(x)
+        layer.backward(np.ones_like(out))
+        assert np.any(layer.beta.grad != 0.0)
+
+    def test_works_inside_sequential(self):
+        rng = np.random.default_rng(4)
+        model = Sequential(Linear(6, 8, random_state=0), BatchNorm1d(8), Linear(8, 1, random_state=1))
+        x = rng.normal(size=(30, 6))
+        target = rng.normal(size=(30, 1))
+        optimizer = Adam(model.parameters(), lr=0.01)
+        loss_fn = MSELoss()
+        first_loss = loss_fn(model(x), target)[0]
+        for _ in range(100):
+            prediction = model(x)
+            _, grad = loss_fn(prediction, target)
+            model.zero_grad()
+            model.backward(grad)
+            optimizer.step()
+        assert loss_fn(model(x), target)[0] < first_loss
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(0)
+        with pytest.raises(ValueError):
+            BatchNorm1d(3, momentum=0.0)
+        with pytest.raises(ValueError):
+            BatchNorm1d(3, eps=0.0)
+
+    def test_wrong_feature_count_raises(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3)(np.zeros((4, 5)))
+
+
+class TestSchedulers:
+    def _optimizer(self) -> SGD:
+        return SGD([Parameter(np.zeros(2))], lr=1.0)
+
+    def test_step_lr_halves_after_step_size(self):
+        optimizer = self._optimizer()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        assert scheduler.step() == pytest.approx(1.0)
+        assert scheduler.step() == pytest.approx(0.5)
+        assert scheduler.step() == pytest.approx(0.5)
+        assert scheduler.step() == pytest.approx(0.25)
+
+    def test_exponential_lr_decays_each_epoch(self):
+        optimizer = self._optimizer()
+        scheduler = ExponentialLR(optimizer, gamma=0.9)
+        assert scheduler.step() == pytest.approx(0.9)
+        assert scheduler.step() == pytest.approx(0.81)
+        assert optimizer.lr == pytest.approx(0.81)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StepLR(self._optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            ExponentialLR(self._optimizer(), gamma=0.0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_without_improvement(self):
+        stopper = EarlyStopping(patience=3, min_delta=0.0)
+        assert not stopper.update(1.0)
+        assert not stopper.update(1.0)
+        assert not stopper.update(1.0)
+        assert stopper.update(1.0)
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.0)
+        assert not stopper.update(1.0)
+        assert not stopper.update(0.9)
+        assert not stopper.update(0.95)
+        assert not stopper.update(0.8)
+        assert not stopper.update(0.85)
+        assert stopper.update(0.85)
+
+    def test_min_delta_requires_meaningful_improvement(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.5)
+        assert not stopper.update(1.0)
+        assert stopper.update(0.8)  # improvement smaller than min_delta
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-1.0)

@@ -1,0 +1,232 @@
+"""Layer forward/backward tests, including numerical gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    LeakyReLU,
+    Linear,
+    MSELoss,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = f()
+        flat[i] = original - eps
+        minus = f()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, random_state=0)
+        assert layer(np.zeros((7, 5))).shape == (7, 3)
+
+    def test_rejects_wrong_input_dim(self):
+        layer = Linear(5, 3, random_state=0)
+        with pytest.raises(ValueError, match="expected input"):
+            layer(np.zeros((7, 4)))
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_rejects_unknown_init(self):
+        with pytest.raises(ValueError, match="init"):
+            Linear(2, 2, init="bogus")
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(2, 2, random_state=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_weight_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 3, random_state=1)
+        x = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 3))
+        loss_fn = MSELoss()
+
+        def loss_value() -> float:
+            return loss_fn(layer(x), target)[0]
+
+        _, grad_out = loss_fn(layer(x), target)
+        layer.zero_grad()
+        layer.backward(grad_out)
+        numerical = numerical_gradient(loss_value, layer.weight.value)
+        np.testing.assert_allclose(layer.weight.grad, numerical, atol=1e-6)
+
+    def test_bias_gradient_matches_numerical(self):
+        rng = np.random.default_rng(3)
+        layer = Linear(3, 2, random_state=2)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+        loss_fn = MSELoss()
+
+        def loss_value() -> float:
+            return loss_fn(layer(x), target)[0]
+
+        _, grad_out = loss_fn(layer(x), target)
+        layer.zero_grad()
+        layer.backward(grad_out)
+        numerical = numerical_gradient(loss_value, layer.bias.value)
+        np.testing.assert_allclose(layer.bias.grad, numerical, atol=1e-6)
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(4)
+        layer = Linear(4, 4, random_state=5)
+        x = rng.normal(size=(3, 4))
+        target = rng.normal(size=(3, 4))
+        loss_fn = MSELoss()
+
+        def loss_value() -> float:
+            return loss_fn(layer(x), target)[0]
+
+        _, grad_out = loss_fn(layer(x), target)
+        grad_in = layer.backward(grad_out)
+        numerical = numerical_gradient(loss_value, x)
+        np.testing.assert_allclose(grad_in, numerical, atol=1e-6)
+
+
+@pytest.mark.parametrize("activation_cls", [ReLU, LeakyReLU, Tanh, Sigmoid])
+class TestActivations:
+    def test_shape_preserved(self, activation_cls):
+        layer = activation_cls()
+        x = np.random.default_rng(0).normal(size=(6, 5))
+        assert layer(x).shape == x.shape
+
+    def test_backward_before_forward_raises(self, activation_cls):
+        with pytest.raises(RuntimeError):
+            activation_cls().backward(np.ones((2, 2)))
+
+    def test_gradient_matches_numerical(self, activation_cls):
+        rng = np.random.default_rng(1)
+        layer = activation_cls()
+        x = rng.normal(size=(4, 3)) + 0.05  # avoid the ReLU kink at exactly 0
+        target = rng.normal(size=(4, 3))
+        loss_fn = MSELoss()
+
+        def loss_value() -> float:
+            return loss_fn(layer(x), target)[0]
+
+        _, grad_out = loss_fn(layer(x), target)
+        grad_in = layer.backward(grad_out)
+
+        numerical = np.zeros_like(x)
+        eps = 1e-6
+        for index in np.ndindex(*x.shape):
+            original = x[index]
+            x[index] = original + eps
+            plus = loss_value()
+            x[index] = original - eps
+            minus = loss_value()
+            x[index] = original
+            numerical[index] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(grad_in, numerical, atol=1e-5)
+
+
+class TestActivationValues:
+    def test_relu_zeroes_negatives(self):
+        out = ReLU()(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_leaky_relu_keeps_scaled_negatives(self):
+        out = LeakyReLU(0.1)(np.array([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out, [[-0.1, 2.0]])
+
+    def test_leaky_relu_rejects_negative_slope(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.1)
+
+    def test_sigmoid_range(self):
+        out = Sigmoid()(np.array([[-100.0, 0.0, 100.0]]))
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+        assert out[0, 1] == pytest.approx(0.5)
+
+    def test_tanh_matches_numpy(self):
+        x = np.array([[-2.0, 0.5]])
+        np.testing.assert_allclose(Tanh()(x), np.tanh(x))
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self):
+        layer = Dropout(0.5, random_state=0)
+        layer.eval()
+        x = np.ones((10, 4))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_training_mode_scales_survivors(self):
+        layer = Dropout(0.5, random_state=0)
+        layer.train()
+        x = np.ones((2000, 1))
+        out = layer(x)
+        surviving = out[out > 0]
+        assert np.allclose(surviving, 2.0)
+        # Roughly half survive.
+        assert 0.4 < (out > 0).mean() < 0.6
+
+    def test_zero_probability_is_identity(self):
+        layer = Dropout(0.0)
+        x = np.random.default_rng(0).normal(size=(5, 5))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, random_state=0)
+        layer.train()
+        x = np.ones((100, 3))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad, out)
+
+
+class TestSequential:
+    def test_forward_chains_layers(self):
+        model = Sequential(Linear(4, 8, random_state=0), ReLU(), Linear(8, 2, random_state=1))
+        assert model(np.zeros((3, 4))).shape == (3, 2)
+
+    def test_parameters_collects_all(self):
+        model = Sequential(Linear(4, 8, random_state=0), ReLU(), Linear(8, 2, random_state=1))
+        assert len(model.parameters()) == 4
+
+    def test_len_and_getitem(self):
+        relu = ReLU()
+        model = Sequential(Linear(2, 2, random_state=0), relu)
+        assert len(model) == 2
+        assert model[1] is relu
+
+    def test_end_to_end_gradient_check(self):
+        rng = np.random.default_rng(9)
+        model = Sequential(Linear(3, 6, random_state=0), Tanh(), Linear(6, 2, random_state=1))
+        x = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 2))
+        loss_fn = MSELoss()
+
+        def loss_value() -> float:
+            return loss_fn(model(x), target)[0]
+
+        _, grad_out = loss_fn(model(x), target)
+        model.zero_grad()
+        model.backward(grad_out)
+        first_linear = model[0]
+        numerical = numerical_gradient(loss_value, first_linear.weight.value)
+        np.testing.assert_allclose(first_linear.weight.grad, numerical, atol=1e-6)

@@ -1,0 +1,186 @@
+"""Tests for MLP / Autoencoder architectures, the batch iterator and the Trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn import (
+    MLP,
+    Adam,
+    Autoencoder,
+    MSELoss,
+    SoftmaxCrossEntropyLoss,
+    Trainer,
+    batch_iterator,
+)
+
+
+class TestMLP:
+    def test_output_shape(self):
+        model = MLP([6, 16, 3], random_state=0)
+        assert model(np.zeros((5, 6))).shape == (5, 3)
+
+    def test_requires_two_layer_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError, match="activation"):
+            MLP([4, 2], activation="swishish")
+
+    def test_output_activation_applied(self):
+        model = MLP([3, 4, 2], output_activation="sigmoid", random_state=0)
+        out = model(np.random.default_rng(0).normal(size=(10, 3)) * 10)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    def test_parameter_count(self):
+        model = MLP([4, 8, 2], random_state=0)
+        assert model.n_parameters() == (4 * 8 + 8) + (8 * 2 + 2)
+
+    def test_deterministic_given_seed(self):
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        out_a = MLP([4, 8, 2], random_state=7)(x)
+        out_b = MLP([4, 8, 2], random_state=7)(x)
+        np.testing.assert_allclose(out_a, out_b)
+
+
+class TestAutoencoder:
+    def test_encode_decode_shapes(self):
+        model = Autoencoder(10, latent_dim=4, hidden_dims=(16,), random_state=0)
+        x = np.zeros((6, 10))
+        latent = model.encode(x)
+        assert latent.shape == (6, 4)
+        assert model.decode(latent).shape == (6, 10)
+        assert model(x).shape == (6, 10)
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Autoencoder(0, latent_dim=4)
+        with pytest.raises(ValueError):
+            Autoencoder(4, latent_dim=0)
+
+    def test_reconstruction_error_nonnegative(self):
+        model = Autoencoder(8, latent_dim=3, hidden_dims=(16,), random_state=0)
+        errors = model.reconstruction_error(np.random.default_rng(0).normal(size=(20, 8)))
+        assert errors.shape == (20,)
+        assert np.all(errors >= 0.0)
+
+    def test_split_backward_matches_full_backward(self):
+        """Backpropagating through decoder then encoder equals the combined backward."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 6))
+        loss_fn = MSELoss()
+
+        model_a = Autoencoder(6, latent_dim=3, hidden_dims=(8,), random_state=1)
+        model_b = Autoencoder(6, latent_dim=3, hidden_dims=(8,), random_state=1)
+
+        out_a = model_a(x)
+        _, grad = loss_fn(out_a, x)
+        model_a.zero_grad()
+        model_a.backward(grad)
+
+        latent = model_b.encode(x)
+        out_b = model_b.decode(latent)
+        _, grad_b = loss_fn(out_b, x)
+        model_b.zero_grad()
+        grad_latent = model_b.backward_through_decoder(grad_b)
+        model_b.backward_through_encoder(grad_latent)
+
+        for param_a, param_b in zip(model_a.parameters(), model_b.parameters()):
+            np.testing.assert_allclose(param_a.grad, param_b.grad, atol=1e-12)
+
+    def test_parameters_cover_encoder_and_decoder(self):
+        model = Autoencoder(5, latent_dim=2, hidden_dims=(7,), random_state=0)
+        assert len(model.parameters()) == len(model.encoder.parameters()) + len(
+            model.decoder.parameters()
+        )
+
+
+class TestBatchIterator:
+    def test_covers_all_samples(self):
+        X = np.arange(23).reshape(23, 1).astype(float)
+        seen = np.concatenate([b[0].ravel() for b in batch_iterator(X, batch_size=5, shuffle=False)])
+        np.testing.assert_array_equal(np.sort(seen), X.ravel())
+
+    def test_batch_sizes(self):
+        X = np.zeros((10, 2))
+        sizes = [b[0].shape[0] for b in batch_iterator(X, batch_size=4, shuffle=False)]
+        assert sizes == [4, 4, 2]
+
+    def test_drop_last(self):
+        X = np.zeros((10, 2))
+        sizes = [b[0].shape[0] for b in batch_iterator(X, batch_size=4, drop_last=True, shuffle=False)]
+        assert sizes == [4, 4]
+
+    def test_multiple_arrays_stay_aligned(self):
+        X = np.arange(20).reshape(20, 1).astype(float)
+        y = np.arange(20)
+        for batch_x, batch_y in batch_iterator(X, y, batch_size=6, random_state=0):
+            np.testing.assert_array_equal(batch_x.ravel(), batch_y)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            list(batch_iterator(np.zeros((5, 1)), np.zeros(4)))
+
+    def test_no_arrays_raises(self):
+        with pytest.raises(ValueError):
+            list(batch_iterator(batch_size=4))
+
+    def test_shuffle_is_deterministic_per_seed(self):
+        X = np.arange(30).reshape(30, 1).astype(float)
+        run_a = [b[0].copy() for b in batch_iterator(X, batch_size=7, random_state=3)]
+        run_b = [b[0].copy() for b in batch_iterator(X, batch_size=7, random_state=3)]
+        for a, b in zip(run_a, run_b):
+            np.testing.assert_array_equal(a, b)
+
+    @given(st.integers(1, 50), st.integers(1, 20))
+    def test_total_sample_count_preserved(self, n, batch_size):
+        X = np.zeros((n, 2))
+        total = sum(b[0].shape[0] for b in batch_iterator(X, batch_size=batch_size))
+        assert total == n
+
+
+class TestTrainer:
+    def test_autoencoder_loss_decreases(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 12))
+        model = Autoencoder(12, latent_dim=4, hidden_dims=(32,), random_state=0)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), MSELoss(), epochs=8, random_state=0)
+        history = trainer.fit(X)
+        assert history.final_loss < history.epoch_losses[0]
+        assert len(history) == 8
+
+    def test_classifier_learns_separable_problem(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(-2, 0.5, size=(100, 4)), rng.normal(2, 0.5, size=(100, 4))])
+        y = np.array([0] * 100 + [1] * 100)
+        model = MLP([4, 16, 2], random_state=0)
+        trainer = Trainer(
+            model,
+            Adam(model.parameters(), lr=0.01),
+            SoftmaxCrossEntropyLoss(),
+            epochs=15,
+            random_state=0,
+        )
+        trainer.fit(X, y)
+        predictions = model(X).argmax(axis=1)
+        assert (predictions == y).mean() > 0.95
+
+    def test_invalid_epochs_raises(self):
+        model = MLP([2, 2], random_state=0)
+        with pytest.raises(ValueError):
+            Trainer(model, Adam(model.parameters(), lr=0.01), MSELoss(), epochs=0)
+
+    def test_model_left_in_eval_mode(self):
+        model = Autoencoder(4, latent_dim=2, hidden_dims=(8,), random_state=0)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), MSELoss(), epochs=1)
+        trainer.fit(np.random.default_rng(0).normal(size=(50, 4)))
+        assert not model.training
+
+    def test_history_final_loss_nan_when_untrained(self):
+        from repro.nn.trainer import TrainingHistory
+
+        assert np.isnan(TrainingHistory().final_loss)

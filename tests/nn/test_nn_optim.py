@@ -1,0 +1,97 @@
+"""Optimizer tests: parameter validation and convergence on simple problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, MSELoss
+from repro.nn.module import Parameter
+
+
+def _quadratic_minimisation(optimizer_factory, n_steps: int = 200) -> float:
+    """Minimise ||x - 3||^2 starting from zero; return the final distance to the optimum."""
+    param = Parameter(np.zeros(4))
+    optimizer = optimizer_factory([param])
+    for _ in range(n_steps):
+        param.zero_grad()
+        param.grad += 2.0 * (param.value - 3.0)
+        optimizer.step()
+    return float(np.abs(param.value - 3.0).max())
+
+
+class TestOptimizerValidation:
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError, match="learning rate"):
+            Adam([Parameter(np.zeros(2))], lr=0.0)
+
+    def test_sgd_invalid_momentum(self):
+        with pytest.raises(ValueError, match="momentum"):
+            SGD([Parameter(np.zeros(2))], lr=0.1, momentum=1.0)
+
+    def test_adam_invalid_betas(self):
+        with pytest.raises(ValueError, match="betas"):
+            Adam([Parameter(np.zeros(2))], lr=0.1, betas=(1.0, 0.9))
+
+    def test_negative_weight_decay_raises(self):
+        with pytest.raises(ValueError, match="weight_decay"):
+            SGD([Parameter(np.zeros(2))], lr=0.1, weight_decay=-1.0)
+
+    def test_zero_grad_clears_all(self):
+        params = [Parameter(np.zeros(3)), Parameter(np.zeros(2))]
+        optimizer = SGD(params, lr=0.1)
+        for param in params:
+            param.grad += 1.0
+        optimizer.zero_grad()
+        assert all(np.all(p.grad == 0.0) for p in params)
+
+
+class TestConvergence:
+    def test_sgd_converges_on_quadratic(self):
+        assert _quadratic_minimisation(lambda p: SGD(p, lr=0.1)) < 1e-3
+
+    def test_sgd_with_momentum_converges(self):
+        assert _quadratic_minimisation(lambda p: SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam_converges_on_quadratic(self):
+        assert _quadratic_minimisation(lambda p: Adam(p, lr=0.1)) < 1e-2
+
+    def test_weight_decay_shrinks_solution(self):
+        # With strong weight decay the optimum of the regularised problem is
+        # closer to the origin than the unregularised target.
+        param = Parameter(np.zeros(1))
+        optimizer = SGD([param], lr=0.05, weight_decay=2.0)
+        for _ in range(300):
+            param.zero_grad()
+            param.grad += 2.0 * (param.value - 3.0)
+            optimizer.step()
+        assert 0.0 < param.value[0] < 3.0
+
+    def test_adam_trains_linear_regression(self):
+        rng = np.random.default_rng(0)
+        true_w = rng.normal(size=(5, 1))
+        X = rng.normal(size=(200, 5))
+        y = X @ true_w
+        model = Linear(5, 1, random_state=0)
+        optimizer = Adam(model.parameters(), lr=0.05)
+        loss_fn = MSELoss()
+        for _ in range(300):
+            prediction = model(X)
+            _, grad = loss_fn(prediction, y)
+            model.zero_grad()
+            model.backward(grad)
+            optimizer.step()
+        final_loss, _ = loss_fn(model(X), y)
+        assert final_loss < 1e-3
+
+    def test_adam_step_count_increases(self):
+        param = Parameter(np.zeros(2))
+        optimizer = Adam([param], lr=0.01)
+        param.grad += 1.0
+        optimizer.step()
+        optimizer.step()
+        assert optimizer._t == 2

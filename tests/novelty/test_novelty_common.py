@@ -1,0 +1,108 @@
+"""API-contract tests shared by every novelty detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.novelty import (
+    AutoencoderDetector,
+    DeepIsolationForest,
+    HBOS,
+    IsolationForest,
+    KNNDetector,
+    LocalOutlierFactor,
+    LODA,
+    MahalanobisDetector,
+    NoveltyDetector,
+    OneClassSVM,
+    PCAReconstructionDetector,
+)
+
+DETECTOR_FACTORIES = {
+    "pca": lambda: PCAReconstructionDetector(n_components=0.95),
+    "lof": lambda: LocalOutlierFactor(n_neighbors=10, random_state=0),
+    "ocsvm": lambda: OneClassSVM(nu=0.1, n_epochs=10, random_state=0),
+    "iforest": lambda: IsolationForest(n_estimators=30, random_state=0),
+    "dif": lambda: DeepIsolationForest(
+        n_representations=3, n_estimators_per_representation=10, random_state=0
+    ),
+    "autoencoder": lambda: AutoencoderDetector(epochs=5, random_state=0),
+    "knn": lambda: KNNDetector(n_neighbors=10, random_state=0),
+    "hbos": lambda: HBOS(n_bins=15),
+    "mahalanobis": lambda: MahalanobisDetector(),
+    "loda": lambda: LODA(n_projections=25, random_state=0),
+}
+
+
+@pytest.fixture(params=sorted(DETECTOR_FACTORIES), ids=sorted(DETECTOR_FACTORIES))
+def detector(request) -> NoveltyDetector:
+    return DETECTOR_FACTORIES[request.param]()
+
+
+class TestDetectorContract:
+    def test_fit_returns_self(self, detector, normal_and_anomalies):
+        X_train, _, _ = normal_and_anomalies
+        assert detector.fit(X_train) is detector
+
+    def test_scores_shape_and_finiteness(self, detector, normal_and_anomalies):
+        X_train, X_normal, X_anomalous = normal_and_anomalies
+        detector.fit(X_train)
+        scores = detector.score_samples(np.vstack([X_normal, X_anomalous]))
+        assert scores.shape == (200,)
+        assert np.all(np.isfinite(scores))
+
+    def test_anomalies_score_higher_than_normal(self, detector, normal_and_anomalies):
+        X_train, X_normal, X_anomalous = normal_and_anomalies
+        detector.fit(X_train)
+        normal_scores = detector.score_samples(X_normal)
+        anomalous_scores = detector.score_samples(X_anomalous)
+        assert anomalous_scores.mean() > normal_scores.mean()
+
+    def test_predict_is_binary(self, detector, normal_and_anomalies):
+        X_train, X_normal, X_anomalous = normal_and_anomalies
+        detector.fit(X_train)
+        predictions = detector.predict(np.vstack([X_normal, X_anomalous]))
+        assert set(np.unique(predictions)).issubset({0, 1})
+
+    def test_predict_flags_anomalies_more_often(self, detector, normal_and_anomalies):
+        X_train, X_normal, X_anomalous = normal_and_anomalies
+        detector.fit(X_train)
+        normal_rate = detector.predict(X_normal).mean()
+        anomalous_rate = detector.predict(X_anomalous).mean()
+        assert anomalous_rate > normal_rate
+
+    def test_default_threshold_set_after_fit(self, detector, normal_and_anomalies):
+        X_train, _, _ = normal_and_anomalies
+        detector.fit(X_train)
+        assert detector.threshold_ is not None
+
+    def test_score_before_fit_raises(self, detector):
+        with pytest.raises((RuntimeError, ValueError)):
+            detector.score_samples(np.zeros((3, 6)))
+
+    def test_predict_with_explicit_threshold(self, detector, normal_and_anomalies):
+        X_train, X_normal, _ = normal_and_anomalies
+        detector.fit(X_train)
+        everything_flagged = detector.predict(X_normal, threshold=-np.inf)
+        assert np.all(everything_flagged == 1)
+
+    def test_empty_input_scores_empty(self, detector, normal_and_anomalies):
+        X_train, _, _ = normal_and_anomalies
+        detector.fit(X_train)
+        assert detector.score_samples(np.empty((0, X_train.shape[1]))).shape == (0,)
+
+
+class TestBaseClassValidation:
+    def test_invalid_threshold_quantile(self):
+        with pytest.raises(ValueError):
+            PCAReconstructionDetector(threshold_quantile=1.5)
+
+    def test_predict_without_threshold_raises(self):
+        detector = NoveltyDetector()
+        with pytest.raises(RuntimeError, match="threshold"):
+            detector.predict(np.zeros((2, 2)))
+
+    def test_base_fit_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            NoveltyDetector().fit(np.zeros((2, 2)))

@@ -1,0 +1,132 @@
+"""Behaviour tests for the additional novelty detectors (KNN, HBOS, Mahalanobis, LODA)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.novelty import HBOS, KNNDetector, LODA, MahalanobisDetector
+
+
+class TestKNNDetector:
+    def test_far_point_scores_higher(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 4))
+        detector = KNNDetector(n_neighbors=5, random_state=0).fit(X)
+        near = detector.score_samples(np.zeros((1, 4)))[0]
+        far = detector.score_samples(np.full((1, 4), 20.0))[0]
+        assert far > 5 * near
+
+    def test_max_aggregation_upper_bounds_mean(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 3))
+        queries = rng.normal(size=(50, 3))
+        mean_scores = KNNDetector(n_neighbors=5, aggregation="mean", random_state=0).fit(X).score_samples(queries)
+        max_scores = KNNDetector(n_neighbors=5, aggregation="max", random_state=0).fit(X).score_samples(queries)
+        assert np.all(max_scores >= mean_scores - 1e-12)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KNNDetector(n_neighbors=0)
+        with pytest.raises(ValueError):
+            KNNDetector(aggregation="median")
+
+    def test_too_few_training_samples(self):
+        with pytest.raises(ValueError):
+            KNNDetector(n_neighbors=10).fit(np.random.default_rng(0).normal(size=(5, 2)))
+
+    def test_subsampling_applied(self):
+        rng = np.random.default_rng(2)
+        detector = KNNDetector(n_neighbors=3, max_train_samples=50, random_state=0).fit(
+            rng.normal(size=(500, 3))
+        )
+        assert detector.X_train_.shape[0] == 50
+
+
+class TestHBOS:
+    def test_out_of_range_values_are_anomalous(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 5))
+        detector = HBOS(n_bins=20).fit(X)
+        inlier = detector.score_samples(rng.normal(size=(100, 5))).mean()
+        outlier = detector.score_samples(np.full((10, 5), 100.0)).mean()
+        assert outlier > inlier
+
+    def test_constant_feature_handled(self):
+        X = np.column_stack([np.ones(100), np.random.default_rng(0).normal(size=100)])
+        detector = HBOS(n_bins=10).fit(X)
+        assert np.all(np.isfinite(detector.score_samples(X)))
+
+    def test_feature_mismatch_raises(self):
+        detector = HBOS().fit(np.random.default_rng(0).normal(size=(50, 3)))
+        with pytest.raises(ValueError, match="features"):
+            detector.score_samples(np.zeros((2, 4)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HBOS(n_bins=1)
+        with pytest.raises(ValueError):
+            HBOS(smoothing=0.0)
+
+
+class TestMahalanobis:
+    def test_reduces_to_euclidean_for_identity_covariance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(5000, 3))
+        detector = MahalanobisDetector(shrinkage=0.0).fit(X)
+        point = np.array([[2.0, 0.0, 0.0]])
+        score = detector.score_samples(point)[0]
+        expected = float(np.sum((point - X.mean(axis=0)) ** 2))
+        assert score == pytest.approx(expected, rel=0.1)
+
+    def test_accounts_for_correlation(self):
+        """A point off the correlation axis is more anomalous than one on it."""
+        rng = np.random.default_rng(1)
+        z = rng.normal(size=(2000, 1))
+        X = np.hstack([z, z + 0.05 * rng.normal(size=(2000, 1))])
+        detector = MahalanobisDetector(shrinkage=0.01).fit(X)
+        on_axis = detector.score_samples(np.array([[2.0, 2.0]]))[0]
+        off_axis = detector.score_samples(np.array([[2.0, -2.0]]))[0]
+        assert off_axis > 10 * on_axis
+
+    def test_handles_degenerate_covariance(self):
+        X = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        detector = MahalanobisDetector(shrinkage=0.1).fit(X)
+        assert np.all(np.isfinite(detector.score_samples(X)))
+
+    def test_invalid_shrinkage(self):
+        with pytest.raises(ValueError):
+            MahalanobisDetector(shrinkage=1.0)
+
+
+class TestLODA:
+    def test_outliers_score_higher(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(600, 8))
+        detector = LODA(n_projections=30, random_state=0).fit(X)
+        inlier = detector.score_samples(rng.normal(size=(100, 8))).mean()
+        outlier = detector.score_samples(rng.normal(10.0, 1.0, size=(100, 8))).mean()
+        assert outlier > inlier
+
+    def test_projections_are_sparse(self):
+        detector = LODA(n_projections=20, random_state=0).fit(
+            np.random.default_rng(0).normal(size=(100, 16))
+        )
+        nonzero_per_projection = (detector.projections_ != 0).sum(axis=1)
+        assert np.all(nonzero_per_projection == 4)  # sqrt(16)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 5))
+        queries = rng.normal(size=(20, 5))
+        a = LODA(n_projections=10, random_state=9).fit(X).score_samples(queries)
+        b = LODA(n_projections=10, random_state=9).fit(X).score_samples(queries)
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LODA(n_projections=0)
+        with pytest.raises(ValueError):
+            LODA(n_bins=1)
+        with pytest.raises(ValueError):
+            LODA(smoothing=0.0)

@@ -1,0 +1,148 @@
+"""Detector-specific behaviour tests beyond the shared contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.novelty import (
+    DeepIsolationForest,
+    IsolationForest,
+    LocalOutlierFactor,
+    OneClassSVM,
+    PCAReconstructionDetector,
+)
+from repro.novelty.iforest import average_path_length
+
+
+class TestPCAReconstructionDetector:
+    def test_detects_off_subspace_points(self):
+        rng = np.random.default_rng(0)
+        basis = rng.normal(size=(2, 10))
+        X_train = rng.normal(size=(300, 2)) @ basis + 0.01 * rng.normal(size=(300, 10))
+        detector = PCAReconstructionDetector(n_components=2).fit(X_train)
+        inliers = rng.normal(size=(50, 2)) @ basis
+        outliers = rng.normal(size=(50, 10)) * 3.0
+        assert detector.score_samples(outliers).mean() > 100 * detector.score_samples(inliers).mean()
+
+    def test_components_follow_variance_argument(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 6)) * np.array([10, 5, 1, 0.1, 0.05, 0.01])
+        detector = PCAReconstructionDetector(n_components=0.9).fit(X)
+        assert detector.pca_.n_components_ < 6
+
+
+class TestLOF:
+    def test_scores_near_one_for_uniform_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(300, 4))
+        detector = LocalOutlierFactor(n_neighbors=15, random_state=0).fit(X)
+        scores = detector.score_samples(rng.uniform(size=(100, 4)))
+        assert 0.8 < np.median(scores) < 1.5
+
+    def test_isolated_point_scores_high(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 3))
+        detector = LocalOutlierFactor(n_neighbors=10, random_state=0).fit(X)
+        score_far = detector.score_samples(np.full((1, 3), 50.0))[0]
+        score_near = detector.score_samples(np.zeros((1, 3)))[0]
+        assert score_far > 3 * score_near
+
+    def test_training_subsampling(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(500, 3))
+        detector = LocalOutlierFactor(n_neighbors=5, max_train_samples=100, random_state=0).fit(X)
+        assert detector.X_train_.shape[0] == 100
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            LocalOutlierFactor(n_neighbors=10).fit(np.zeros((5, 2)) + np.arange(2))
+
+    def test_invalid_neighbors_raises(self):
+        with pytest.raises(ValueError):
+            LocalOutlierFactor(n_neighbors=0)
+
+
+class TestOneClassSVM:
+    def test_invalid_nu_raises(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=0.0)
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=1.5)
+
+    def test_invalid_gamma_raises(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(gamma=-1.0)
+        with pytest.raises(ValueError):
+            OneClassSVM(gamma="auto")
+
+    def test_explicit_gamma_accepted(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 4))
+        detector = OneClassSVM(nu=0.1, gamma=0.5, n_epochs=10, random_state=0).fit(X)
+        assert np.all(np.isfinite(detector.score_samples(X)))
+
+    def test_training_outlier_fraction_bounded(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(500, 5))
+        nu = 0.1
+        detector = OneClassSVM(nu=nu, n_epochs=40, random_state=0).fit(X)
+        scores = detector.score_samples(X)
+        flagged = (scores > 0.0).mean()
+        # The fraction of training points outside the learned boundary should
+        # be in the right ballpark of nu (loose bound; SGD approximation).
+        assert flagged < 0.4
+
+
+class TestIsolationForest:
+    def test_average_path_length_known_values(self):
+        assert average_path_length(1)[0] == 0.0
+        assert average_path_length(2)[0] == 1.0
+        # c(256) is about 10.24 in the original paper.
+        assert average_path_length(256)[0] == pytest.approx(10.24, abs=0.1)
+
+    def test_scores_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 4))
+        detector = IsolationForest(n_estimators=50, random_state=0).fit(X)
+        scores = detector.score_samples(X)
+        assert np.all(scores > 0.0) and np.all(scores < 1.0)
+
+    def test_extreme_point_scores_above_half(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(400, 5))
+        detector = IsolationForest(n_estimators=100, random_state=0).fit(X)
+        assert detector.score_samples(np.full((1, 5), 10.0))[0] > 0.6
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            IsolationForest(n_estimators=0)
+        with pytest.raises(ValueError):
+            IsolationForest(max_samples=1)
+
+    def test_subsample_capped_at_dataset_size(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 3))
+        detector = IsolationForest(n_estimators=10, max_samples=256, random_state=0).fit(X)
+        assert detector.subsample_size_ == 50
+
+
+class TestDeepIsolationForest:
+    def test_ensemble_sizes(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 6))
+        detector = DeepIsolationForest(
+            n_representations=4, n_estimators_per_representation=5, random_state=0
+        ).fit(X)
+        assert len(detector.networks_) == 4
+        assert len(detector.forests_) == 4
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            DeepIsolationForest(n_representations=0)
+
+    def test_deterministic_given_seed(self, normal_and_anomalies):
+        X_train, X_normal, _ = normal_and_anomalies
+        scores_a = DeepIsolationForest(n_representations=2, random_state=3).fit(X_train).score_samples(X_normal)
+        scores_b = DeepIsolationForest(n_representations=2, random_state=3).fit(X_train).score_samples(X_normal)
+        np.testing.assert_allclose(scores_a, scores_b)

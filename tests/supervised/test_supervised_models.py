@@ -1,0 +1,181 @@
+"""Tests for the supervised classifiers used in the Fig. 1 experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import accuracy_score
+from repro.supervised import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    DNNClassifier,
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+)
+
+CLASSIFIER_FACTORIES = {
+    "tree": lambda: DecisionTreeClassifier(max_depth=6, random_state=0),
+    "forest": lambda: RandomForestClassifier(n_estimators=15, max_depth=6, random_state=0),
+    "boosting": lambda: GradientBoostingClassifier(n_estimators=25, random_state=0),
+    "dnn": lambda: DNNClassifier(
+        hidden_dims=(32,), epochs=30, learning_rate=0.01, random_state=0
+    ),
+}
+
+
+@pytest.fixture(params=sorted(CLASSIFIER_FACTORIES), ids=sorted(CLASSIFIER_FACTORIES))
+def classifier(request):
+    return CLASSIFIER_FACTORIES[request.param]()
+
+
+class TestClassifierContract:
+    def test_learns_separable_blobs(self, classifier, blobs):
+        X, y = blobs
+        classifier.fit(X, y)
+        assert accuracy_score(y, classifier.predict(X)) > 0.95
+
+    def test_predict_proba_shape_and_normalisation(self, classifier, blobs):
+        X, y = blobs
+        classifier.fit(X, y)
+        proba = classifier.predict_proba(X[:20])
+        assert proba.shape == (20, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(proba >= -1e-12)
+
+    def test_predictions_are_valid_labels(self, classifier, blobs):
+        X, y = blobs
+        classifier.fit(X, y)
+        assert set(np.unique(classifier.predict(X))).issubset(set(np.unique(y)))
+
+    def test_generalises_to_held_out_data(self, classifier, blobs):
+        X, y = blobs
+        classifier.fit(X[:200], y[:200])
+        assert accuracy_score(y[200:], classifier.predict(X[200:])) > 0.9
+
+
+class TestDecisionTree:
+    def test_max_depth_one_is_a_stump(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=1, random_state=0).fit(X, y)
+        root = tree.root_
+        assert not root.is_leaf
+        assert root.left.is_leaf and root.right.is_leaf
+
+    def test_pure_node_becomes_leaf(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        y = np.zeros(20, dtype=int)
+        tree = DecisionTreeClassifier(max_depth=5, random_state=0).fit(X, y)
+        assert tree.root_.is_leaf
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_feature_mismatch_at_predict_raises(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(np.zeros((2, X.shape[1] + 1)))
+
+    def test_handles_string_class_labels(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 0.5, (40, 2)), rng.normal(2, 0.5, (40, 2))])
+        y = np.array(["benign"] * 40 + ["attack"] * 40)
+        tree = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+        assert set(tree.predict(X)) <= {"benign", "attack"}
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_piecewise_constant_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(300, 1))
+        y = np.where(X[:, 0] > 0, 2.0, -2.0)
+        model = DecisionTreeRegressor(max_depth=2, random_state=0).fit(X, y)
+        predictions = model.predict(X)
+        # Quantile-candidate splits may miss the exact boundary by a few
+        # samples; the fit must still be far better than predicting the mean
+        # (whose MSE is 4.0).
+        assert np.mean((predictions - y) ** 2) < 0.5
+
+    def test_constant_target_returns_constant(self):
+        X = np.random.default_rng(1).normal(size=(30, 2))
+        y = np.full(30, 3.5)
+        model = DecisionTreeRegressor(random_state=0).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), 3.5)
+
+
+class TestRandomForest:
+    def test_invalid_estimator_count(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_number_of_trees(self, blobs):
+        X, y = blobs
+        forest = RandomForestClassifier(n_estimators=7, random_state=0).fit(X, y)
+        assert len(forest.trees_) == 7
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.zeros((2, 3)))
+
+    def test_deterministic_given_seed(self, blobs):
+        X, y = blobs
+        p1 = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y).predict_proba(X[:10])
+        p2 = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y).predict_proba(X[:10])
+        np.testing.assert_allclose(p1, p2)
+
+
+class TestGradientBoosting:
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0)
+
+    def test_requires_binary_labels(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=2).fit(X, np.full(X.shape[0], 2))
+
+    def test_more_rounds_reduce_training_error(self, blobs):
+        X, y = blobs
+        noisy_y = y.copy()
+        flip = np.random.default_rng(0).choice(len(y), 30, replace=False)
+        noisy_y[flip] = 1 - noisy_y[flip]
+        few = GradientBoostingClassifier(n_estimators=2, random_state=0).fit(X, noisy_y)
+        many = GradientBoostingClassifier(n_estimators=40, random_state=0).fit(X, noisy_y)
+        acc_few = accuracy_score(noisy_y, few.predict(X))
+        acc_many = accuracy_score(noisy_y, many.predict(X))
+        assert acc_many >= acc_few
+
+    def test_decision_function_sign_matches_prediction(self, blobs):
+        X, y = blobs
+        model = GradientBoostingClassifier(n_estimators=10, random_state=0).fit(X, y)
+        raw = model.decision_function(X[:30])
+        np.testing.assert_array_equal((raw > 0).astype(int), model.predict(X[:30]))
+
+    def test_subsampling_still_learns(self, blobs):
+        X, y = blobs
+        model = GradientBoostingClassifier(n_estimators=20, subsample=0.5, random_state=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+
+
+class TestDNNClassifier:
+    def test_multiclass_support(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack(
+            [rng.normal(loc, 0.4, size=(60, 3)) for loc in (-3.0, 0.0, 3.0)]
+        )
+        y = np.repeat([10, 20, 30], 60)  # non-contiguous labels
+        model = DNNClassifier(hidden_dims=(32,), epochs=20, random_state=0).fit(X, y)
+        assert accuracy_score((y == 30).astype(int), (model.predict(X) == 30).astype(int)) > 0.9
+        assert set(np.unique(model.predict(X))).issubset({10, 20, 30})
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DNNClassifier().predict(np.zeros((2, 4)))

@@ -1,0 +1,42 @@
+"""Smoke tests that run every example script end to end (at a reduced scale)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLE_COMMANDS = {
+    "quickstart.py": ["--scale", "0.0015", "--experiences", "2", "--epochs", "2"],
+    "zero_day_detection.py": ["--scale", "0.0015", "--epochs", "2"],
+    "iiot_stream_monitoring.py": ["--scale", "0.0015", "--experiences", "2", "--epochs", "2"],
+    "novelty_detector_comparison.py": ["--scale", "0.0015", "--experiences", "2", "--epochs", "2"],
+}
+
+
+def test_every_example_is_covered():
+    """Each script in examples/ must have a smoke-test entry here."""
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXAMPLE_COMMANDS)
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLE_COMMANDS))
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *EXAMPLE_COMMANDS[script]],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLE_COMMANDS))
+def test_example_has_module_docstring(script):
+    source = (EXAMPLES_DIR / script).read_text()
+    assert source.lstrip().startswith('"""'), f"{script} is missing a module docstring"
