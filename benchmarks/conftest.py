@@ -5,6 +5,20 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+import pytest
+
 # Make the sibling bench_config module importable when pytest is invoked from
 # the repository root (benchmarks/ is not a package).
-sys.path.insert(0, str(Path(__file__).resolve().parent))
+_BENCH_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(_BENCH_DIR))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ as ``bench``.
+
+    The default addopts (``-m 'not bench'``) then keep the tier-1 run fast;
+    ``pytest benchmarks -m bench`` runs the benchmark suite.
+    """
+    for item in items:
+        if str(item.fspath).startswith(str(_BENCH_DIR)):
+            item.add_marker(pytest.mark.bench)

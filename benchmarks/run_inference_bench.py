@@ -1,0 +1,256 @@
+"""Inference throughput benchmark for the vectorized batch inference engine.
+
+Fits every supervised classifier and novelty detector once on synthetic
+blobs, then measures batch-scoring throughput (samples/second, before any
+thresholding) on a large test batch.  Where a naive per-row/full-matrix
+reference implementation is retained in the library, its throughput is
+measured too and the speedup of the vectorized path is reported.
+
+Results are written to a machine-readable ``BENCH_inference.json`` at the
+repository root, the seed of the perf trajectory across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_inference_bench.py \
+        [--n-train 2000] [--n-test 10000] [--n-features 16] \
+        [--n-repeats 3] [--output BENCH_inference.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro._version import __version__
+from repro.ml import KMeans, pairwise_squared_euclidean
+from repro.novelty import (
+    HBOS,
+    LODA,
+    DeepIsolationForest,
+    IsolationForest,
+    KNNDetector,
+    LocalOutlierFactor,
+    MahalanobisDetector,
+    OneClassSVM,
+    PCAReconstructionDetector,
+)
+from repro.supervised import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+)
+from repro.utils.timing import Timer
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_inference.json"
+
+
+def make_data(
+    n_train: int, n_test: int, n_features: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Two noisy Gaussian blobs: train features, train labels, test features."""
+    rng = np.random.default_rng(seed)
+    X_train = rng.normal(size=(n_train, n_features))
+    y_train = (X_train[:, 0] + 0.25 * rng.normal(size=n_train) > 0).astype(np.int64)
+    X_train[y_train == 1] += 1.5
+    X_test = rng.normal(size=(n_test, n_features))
+    X_test[n_test // 2 :] += 1.5
+    return X_train, y_train, X_test
+
+
+def _best_rate(fn: Callable[[np.ndarray], object], X: np.ndarray, n_repeats: int) -> float:
+    """Best-of-``n_repeats`` throughput (samples/second) of ``fn`` over ``X``."""
+    best = 0.0
+    for _ in range(max(n_repeats, 1)):
+        timer = Timer()
+        with timer:
+            fn(X)
+        best = max(best, timer.throughput(X.shape[0]))
+    return best
+
+
+def _bench_specs() -> list[dict[str, object]]:
+    """One entry per timed model: fit factory, vectorized call, naive call."""
+    return [
+        {
+            "name": "DecisionTreeClassifier.predict",
+            "fit": lambda X, y: DecisionTreeClassifier(max_depth=8, random_state=0).fit(X, y),
+            "fast": lambda m: m.predict,
+            "naive": lambda m: (
+                lambda X: m.classes_[m._predict_values_naive(X).argmax(axis=1)]
+            ),
+        },
+        {
+            "name": "RandomForestClassifier.predict",
+            "fit": lambda X, y: RandomForestClassifier(
+                n_estimators=20, max_depth=8, random_state=0
+            ).fit(X, y),
+            "fast": lambda m: m.predict,
+            "naive": lambda m: (
+                lambda X: m.classes_[m._predict_proba_naive(X).argmax(axis=1)]
+            ),
+        },
+        {
+            "name": "GradientBoostingClassifier.decision_function",
+            "fit": lambda X, y: GradientBoostingClassifier(
+                n_estimators=30, random_state=0
+            ).fit(X, y),
+            "fast": lambda m: m.decision_function,
+            "naive": lambda m: m._decision_function_naive,
+        },
+        {
+            "name": "IsolationForest.score_samples",
+            "fit": lambda X, y: IsolationForest(
+                n_estimators=50, max_samples=256, random_state=0
+            ).fit(X),
+            "fast": lambda m: m.score_samples,
+            "naive": lambda m: m._score_samples_naive,
+        },
+        {
+            "name": "KNNDetector.score_samples",
+            "fit": lambda X, y: KNNDetector(n_neighbors=10, random_state=0).fit(X),
+            "fast": lambda m: m.score_samples,
+            "naive": lambda m: m._score_samples_naive,
+        },
+        {
+            "name": "LocalOutlierFactor.score_samples",
+            "fit": lambda X, y: LocalOutlierFactor(n_neighbors=20, random_state=0).fit(X),
+            "fast": lambda m: m.score_samples,
+            "naive": lambda m: m._score_samples_naive,
+        },
+        {
+            "name": "HBOS.score_samples",
+            "fit": lambda X, y: HBOS(n_bins=20).fit(X),
+            "fast": lambda m: m.score_samples,
+            "naive": lambda m: m._score_samples_naive,
+        },
+        {
+            "name": "LODA.score_samples",
+            "fit": lambda X, y: LODA(n_projections=50, random_state=0).fit(X),
+            "fast": lambda m: m.score_samples,
+            "naive": lambda m: m._score_samples_naive,
+        },
+        {
+            "name": "KMeans.predict",
+            "fit": lambda X, y: KMeans(n_clusters=8, n_init=1, random_state=0).fit(X),
+            "fast": lambda m: m.predict,
+            "naive": lambda m: (
+                lambda X: pairwise_squared_euclidean(X, m.cluster_centers_).argmin(axis=1)
+            ),
+        },
+        {
+            "name": "MahalanobisDetector.score_samples",
+            "fit": lambda X, y: MahalanobisDetector().fit(X),
+            "fast": lambda m: m.score_samples,
+            "naive": None,
+        },
+        {
+            "name": "PCAReconstructionDetector.score_samples",
+            "fit": lambda X, y: PCAReconstructionDetector().fit(X),
+            "fast": lambda m: m.score_samples,
+            "naive": None,
+        },
+        {
+            "name": "OneClassSVM.score_samples",
+            "fit": lambda X, y: OneClassSVM(n_epochs=5, random_state=0).fit(X),
+            "fast": lambda m: m.score_samples,
+            "naive": None,
+        },
+        {
+            "name": "DeepIsolationForest.score_samples",
+            "fit": lambda X, y: DeepIsolationForest(
+                n_representations=3,
+                n_estimators_per_representation=10,
+                random_state=0,
+            ).fit(X),
+            "fast": lambda m: m.score_samples,
+            "naive": None,
+        },
+    ]
+
+
+def run_bench(
+    *,
+    n_train: int = 2000,
+    n_test: int = 10_000,
+    n_features: int = 16,
+    n_repeats: int = 3,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Run the full throughput suite and return the machine-readable payload."""
+    X_train, y_train, X_test = make_data(n_train, n_test, n_features, seed)
+    results: dict[str, object] = {}
+    for spec in _bench_specs():
+        model = spec["fit"](X_train, y_train)
+        fast_fn = spec["fast"](model)
+        rate = _best_rate(fast_fn, X_test, n_repeats)
+        entry: dict[str, object] = {
+            "samples_per_sec": rate,
+            "ms_per_sample": 1000.0 / rate if rate > 0 else float("inf"),
+        }
+        if spec["naive"] is not None:
+            # Same repeat count as the fast path so the speedup is not
+            # inflated by one-off warmup stalls in a single naive run.
+            naive_rate = _best_rate(spec["naive"](model), X_test, n_repeats)
+            entry["naive_samples_per_sec"] = naive_rate
+            entry["speedup_vs_naive"] = rate / naive_rate if naive_rate > 0 else float("inf")
+        results[spec["name"]] = entry
+    return {
+        "benchmark": "inference_throughput",
+        "version": __version__,
+        "config": {
+            "n_train": n_train,
+            "n_test": n_test,
+            "n_features": n_features,
+            "n_repeats": n_repeats,
+            "seed": seed,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+        },
+        "results": results,
+    }
+
+
+def write_report(payload: dict[str, object], output: Path = DEFAULT_OUTPUT) -> Path:
+    output = Path(output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return output
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-train", type=int, default=2000)
+    parser.add_argument("--n-test", type=int, default=10_000)
+    parser.add_argument("--n-features", type=int, default=16)
+    parser.add_argument("--n-repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    if min(args.n_train, args.n_test, args.n_features, args.n_repeats) < 1:
+        parser.error("--n-train, --n-test, --n-features and --n-repeats must be >= 1")
+    payload = run_bench(
+        n_train=args.n_train,
+        n_test=args.n_test,
+        n_features=args.n_features,
+        n_repeats=args.n_repeats,
+        seed=args.seed,
+    )
+    path = write_report(payload, args.output)
+    for name, entry in payload["results"].items():
+        line = f"{name:50s} {entry['samples_per_sec']:>12.0f} samples/s"
+        if "speedup_vs_naive" in entry:
+            line += f"  ({entry['speedup_vs_naive']:.1f}x vs naive)"
+        print(line)
+    print(f"[written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

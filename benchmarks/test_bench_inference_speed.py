@@ -1,0 +1,44 @@
+"""Benchmark: batch-inference throughput of every detector (samples/second).
+
+Unlike the table/figure benchmarks this one tracks the *performance
+trajectory* of the reproduction: it writes ``BENCH_inference.json`` at the
+repository root and asserts that the vectorized engine beats the retained
+naive reference implementations by a healthy margin on the tree-based
+methods.
+"""
+
+from __future__ import annotations
+
+from run_inference_bench import DEFAULT_OUTPUT, run_bench, write_report
+
+#: Vectorized paths that must beat their naive reference by at least 5x on a
+#: 10k-sample batch (issue acceptance criterion).
+SPEEDUP_CRITICAL = (
+    "DecisionTreeClassifier.predict",
+    "RandomForestClassifier.predict",
+    "IsolationForest.score_samples",
+)
+
+
+def test_bench_inference_speed():
+    payload = run_bench(n_train=2000, n_test=10_000, n_features=16, n_repeats=3)
+    path = write_report(payload, DEFAULT_OUTPUT)
+    print(f"[written to {path}]")
+
+    results = payload["results"]
+    for name, entry in results.items():
+        assert entry["samples_per_sec"] > 0.0, name
+
+    for name in SPEEDUP_CRITICAL:
+        assert results[name]["speedup_vs_naive"] >= 5.0, (
+            f"{name}: expected >= 5x over the naive reference, got "
+            f"{results[name]['speedup_vs_naive']:.2f}x"
+        )
+
+    # Every vectorized path with a retained reference must stay in the same
+    # ballpark as the naive implementation or better.  (KMeans trades a few
+    # percent of top-1 assignment speed for blockwise memory bounding, so
+    # this is a regression guard, not a strict >1 requirement.)
+    for name, entry in results.items():
+        if "speedup_vs_naive" in entry:
+            assert entry["speedup_vs_naive"] > 0.5, name

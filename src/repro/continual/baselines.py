@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.continual.base import ContinualMethod
-from repro.ml.distances import pairwise_euclidean
+from repro.ml.distances import pairwise_euclidean, pairwise_topk
 from repro.ml.kmeans import KMeans
 from repro.ml.scalers import StandardScaler
 from repro.nn.data import batch_iterator
@@ -108,7 +108,7 @@ class _LatentClusterBaseline(ContinualMethod):
         if calibration_X is not None and calibration_y is not None and calibration_X.shape[0]:
             X_scaled = self.scaler.transform(np.asarray(calibration_X, dtype=np.float64))
             latent = self._encode(X_scaled)
-            assignment = pairwise_euclidean(latent, self.cluster_centers_).argmin(axis=1)
+            assignment = pairwise_topk(latent, self.cluster_centers_, 1)[0][:, 0]
             y = np.asarray(calibration_y)
             for cluster in range(n_clusters):
                 members = y[assignment == cluster]
@@ -124,7 +124,7 @@ class _LatentClusterBaseline(ContinualMethod):
             raise RuntimeError(f"{self.name} has not been fitted on any experience yet")
         X_scaled = self._prepare(X, fit_scaler=False)
         latent = self._encode(X_scaled)
-        assignment = pairwise_euclidean(latent, self.cluster_centers_).argmin(axis=1)
+        assignment = pairwise_topk(latent, self.cluster_centers_, 1)[0][:, 0]
         return self.cluster_labels_[assignment]
 
 

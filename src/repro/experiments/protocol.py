@@ -22,6 +22,7 @@ from repro.metrics.ranking import pr_auc_score
 from repro.metrics.thresholds import best_f_threshold
 from repro.ml.scalers import StandardScaler
 from repro.novelty.base import NoveltyDetector
+from repro.utils.timing import Timer
 
 __all__ = [
     "MethodRunResult",
@@ -209,12 +210,20 @@ def measure_inference_time(
     *,
     n_repeats: int = 3,
 ) -> float:
-    """Average per-sample inference time (milliseconds) of ``score_fn`` over ``X``."""
+    """Median per-sample inference time (milliseconds) of ``score_fn`` over ``X``.
+
+    The rate math is shared with the throughput benchmark via
+    :meth:`repro.utils.timing.Timer.throughput`.
+    """
     if X.shape[0] == 0:
         return float("nan")
-    timings = []
+    rates = []
     for _ in range(max(n_repeats, 1)):
-        start = time.perf_counter()
-        score_fn(X)
-        timings.append(time.perf_counter() - start)
-    return 1000.0 * float(np.median(timings)) / X.shape[0]
+        timer = Timer()
+        with timer:
+            score_fn(X)
+        rates.append(timer.throughput(X.shape[0]))
+    median_rate = float(np.median(rates))
+    if median_rate <= 0.0 or not np.isfinite(median_rate):
+        return 0.0
+    return 1000.0 / median_rate

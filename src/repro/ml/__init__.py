@@ -1,6 +1,8 @@
-"""Classical machine-learning substrate: PCA, K-Means, scalers, splits."""
+"""Classical machine-learning substrate: PCA, K-Means, scalers, splits, kernels."""
 
-from repro.ml.distances import pairwise_euclidean
+from repro.ml.binning import batch_bin_right, histogram_log_densities
+from repro.ml.distances import pairwise_euclidean, pairwise_squared_euclidean, pairwise_topk
+from repro.ml.flat_tree import FlatForest, FlatTree, flatten_tree
 from repro.ml.kmeans import KMeans, elbow_method
 from repro.ml.pca import PCA
 from repro.ml.scalers import MinMaxScaler, StandardScaler
@@ -15,4 +17,11 @@ __all__ = [
     "train_test_split",
     "stratified_indices",
     "pairwise_euclidean",
+    "pairwise_squared_euclidean",
+    "pairwise_topk",
+    "FlatForest",
+    "FlatTree",
+    "flatten_tree",
+    "batch_bin_right",
+    "histogram_log_densities",
 ]

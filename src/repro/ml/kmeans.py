@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.distances import pairwise_squared_euclidean
+from repro.ml.distances import pairwise_squared_euclidean, pairwise_topk
 from repro.utils.random import check_random_state
 from repro.utils.validation import check_array, check_fitted
 
@@ -29,6 +29,9 @@ class KMeans:
         Maximum Lloyd iterations per restart.
     tol:
         Relative centre-movement tolerance for convergence.
+    block_size:
+        Cluster assignment processes samples in blocks of this many rows, so
+        peak extra memory is O(``block_size`` x n_clusters) floats.
     """
 
     def __init__(
@@ -38,16 +41,20 @@ class KMeans:
         n_init: int = 3,
         max_iter: int = 100,
         tol: float = 1e-4,
+        block_size: int = 4096,
         random_state: int | np.random.Generator | None = None,
     ) -> None:
         if n_clusters < 1:
             raise ValueError("n_clusters must be at least 1")
         if n_init < 1 or max_iter < 1:
             raise ValueError("n_init and max_iter must be at least 1")
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1")
         self.n_clusters = n_clusters
         self.n_init = n_init
         self.max_iter = max_iter
         self.tol = tol
+        self.block_size = block_size
         self.random_state = random_state
         self.cluster_centers_: np.ndarray | None = None
         self.labels_: np.ndarray | None = None
@@ -94,6 +101,29 @@ class KMeans:
         self.inertia_ = float(best_inertia)
         return self
 
+    def _assign(self, X: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Nearest-centre label and squared distance per sample, blockwise."""
+        idx, dist = pairwise_topk(
+            X, centers, 1, block_size=self.block_size, squared=True
+        )
+        return idx[:, 0], dist[:, 0]
+
+    def _update_centers(
+        self, X: np.ndarray, labels: np.ndarray, nearest_sq: np.ndarray, centers: np.ndarray
+    ) -> np.ndarray:
+        """Mean of each cluster's members via bincount accumulation (no per-cluster loop)."""
+        counts = np.bincount(labels, minlength=self.n_clusters)
+        sums = np.empty((self.n_clusters, X.shape[1]), dtype=np.float64)
+        for j in range(X.shape[1]):
+            sums[:, j] = np.bincount(labels, weights=X[:, j], minlength=self.n_clusters)
+        new_centers = centers.copy()
+        nonempty = counts > 0
+        new_centers[nonempty] = sums[nonempty] / counts[nonempty, None]
+        if not nonempty.all():
+            # Re-seed empty clusters at the point farthest from its centre.
+            new_centers[~nonempty] = X[nearest_sq.argmax()]
+        return new_centers
+
     def _single_run(
         self, X: np.ndarray, rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray, float, int]:
@@ -101,24 +131,14 @@ class KMeans:
         labels = np.zeros(X.shape[0], dtype=np.int64)
         n_iter = 0
         for n_iter in range(1, self.max_iter + 1):
-            distances = pairwise_squared_euclidean(X, centers)
-            labels = distances.argmin(axis=1)
-            new_centers = centers.copy()
-            for k in range(self.n_clusters):
-                members = X[labels == k]
-                if members.shape[0] > 0:
-                    new_centers[k] = members.mean(axis=0)
-                else:
-                    # Re-seed an empty cluster at the point farthest from its centre.
-                    farthest = distances.min(axis=1).argmax()
-                    new_centers[k] = X[farthest]
+            labels, nearest_sq = self._assign(X, centers)
+            new_centers = self._update_centers(X, labels, nearest_sq, centers)
             shift = np.sqrt(np.sum((new_centers - centers) ** 2, axis=1)).max()
             centers = new_centers
             if shift <= self.tol:
                 break
-        distances = pairwise_squared_euclidean(X, centers)
-        labels = distances.argmin(axis=1)
-        inertia = float(distances[np.arange(X.shape[0]), labels].sum())
+        labels, nearest_sq = self._assign(X, centers)
+        inertia = float(nearest_sq.sum())
         return centers, labels, inertia, n_iter
 
     # -- inference ---------------------------------------------------------------
@@ -128,7 +148,7 @@ class KMeans:
         X = check_array(X, name="X", allow_empty=True)
         if X.shape[0] == 0:
             return np.empty(0, dtype=np.int64)
-        return pairwise_squared_euclidean(X, self.cluster_centers_).argmin(axis=1)
+        return self._assign(X, self.cluster_centers_)[0]
 
     def transform(self, X: np.ndarray) -> np.ndarray:
         """Distances from each sample to every cluster centre."""

@@ -1,0 +1,208 @@
+"""Optional native (C) kernels for batch tree-ensemble traversal.
+
+The pure-NumPy frontier traversal in :mod:`repro.ml.flat_tree` is bound by
+the number of NumPy passes per tree level (~7 array operations per level per
+(tree, row) pair).  A tiny C kernel removes that floor: the compiled walk
+needs ~2 loads per node step, keeps each tree's node tables L1-resident by
+iterating trees in the outer loop, and walks four rows per tree concurrently
+(manual 4-way interleave) so the dependent node->child load chains of
+independent rows overlap.  On a 10k-sample batch this is roughly an order of
+magnitude faster than both the NumPy frontier and the recursive reference.
+
+The kernel is compiled on first use with the system C compiler (``cc``) into
+a cache directory next to this module and loaded through :mod:`ctypes`.  If
+no compiler is available, compilation fails, or the environment variable
+``REPRO_DISABLE_NATIVE`` is set to a non-empty value, every entry point
+returns ``None`` and callers fall back to the NumPy implementation — the
+native path is a pure accelerator, never a requirement.
+
+Both kernels operate on the :class:`repro.ml.flat_tree.FlatForest` layout:
+consecutive children (``right = left + 1``), self-looping leaves with a
+``+inf`` threshold (so a fixed ``depth``-iteration walk is branch-free and
+needs no leaf test), and node ids that are absolute into the concatenated
+per-tree arrays.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["available", "forest_sum", "forest_apply"]
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* Walk every (tree, row) pair to its leaf.  Trees iterate in the outer loop
+ * so each tree's node tables stay cache-hot across all rows; rows advance
+ * four at a time so the dependent load chains of independent rows overlap.
+ * Leaves self-loop (threshold = +inf), hence the fixed depth-count walk. */
+#define WALK_BODY(cmp_op, EMIT) \
+    for (int64_t t = 0; t < n_trees; ++t) { \
+        const int32_t root = (int32_t)roots[t]; \
+        const int64_t depth = depths[t]; \
+        int64_t i = 0; \
+        for (; i + 4 <= n; i += 4) { \
+            const double *r0 = X + (i + 0) * d, *r1 = X + (i + 1) * d; \
+            const double *r2 = X + (i + 2) * d, *r3 = X + (i + 3) * d; \
+            int32_t n0 = root, n1 = root, n2 = root, n3 = root; \
+            for (int64_t l = 0; l < depth; ++l) { \
+                n0 = child[n0] + (r0[feature[n0]] cmp_op threshold[n0]); \
+                n1 = child[n1] + (r1[feature[n1]] cmp_op threshold[n1]); \
+                n2 = child[n2] + (r2[feature[n2]] cmp_op threshold[n2]); \
+                n3 = child[n3] + (r3[feature[n3]] cmp_op threshold[n3]); \
+            } \
+            EMIT(i + 0, n0); EMIT(i + 1, n1); EMIT(i + 2, n2); EMIT(i + 3, n3); \
+        } \
+        for (; i < n; ++i) { \
+            const double *row = X + i * d; \
+            int32_t node = root; \
+            for (int64_t l = 0; l < depth; ++l) \
+                node = child[node] + (row[feature[node]] cmp_op threshold[node]); \
+            EMIT(i, node); \
+        } \
+    }
+
+/* Accumulate the scalar leaf payload of every tree into out[i]. */
+void forest_sum(const double *X, int64_t n, int64_t d,
+                const int32_t *feature, const double *threshold,
+                const int32_t *child, const double *value,
+                const int64_t *roots, const int64_t *depths, int64_t n_trees,
+                int strict, double *out)
+{
+#define EMIT_SUM(i, node) out[i] += value[node]
+    if (strict) { WALK_BODY(>=, EMIT_SUM) } else { WALK_BODY(>, EMIT_SUM) }
+#undef EMIT_SUM
+}
+
+/* Write the absolute leaf id of every (tree, row) pair, tree-major. */
+void forest_apply(const double *X, int64_t n, int64_t d,
+                  const int32_t *feature, const double *threshold,
+                  const int32_t *child,
+                  const int64_t *roots, const int64_t *depths, int64_t n_trees,
+                  int strict, int32_t *out_leaf)
+{
+#define EMIT_LEAF(i, node) out_leaf[t * n + (i)] = node
+    if (strict) { WALK_BODY(>=, EMIT_LEAF) } else { WALK_BODY(>, EMIT_LEAF) }
+#undef EMIT_LEAF
+}
+"""
+
+_CACHE_DIR = Path(__file__).resolve().parent / "_native_cache"
+
+_lib: ctypes.CDLL | None = None
+_load_attempted = False
+
+
+def _compile_and_load() -> ctypes.CDLL | None:
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    lib_path = _CACHE_DIR / f"repro_tree_{digest}.so"
+    if not lib_path.exists():
+        _CACHE_DIR.mkdir(parents=True, exist_ok=True)
+        src_path = _CACHE_DIR / f"repro_tree_{digest}.c"
+        src_path.write_text(_C_SOURCE)
+        with tempfile.NamedTemporaryFile(
+            dir=_CACHE_DIR, suffix=".so", delete=False
+        ) as tmp:
+            tmp_path = Path(tmp.name)
+        result = subprocess.run(
+            ["cc", "-O3", "-shared", "-fPIC", "-o", str(tmp_path), str(src_path)],
+            capture_output=True,
+            timeout=120,
+        )
+        if result.returncode != 0:
+            tmp_path.unlink(missing_ok=True)
+            return None
+        tmp_path.replace(lib_path)  # atomic: concurrent imports race safely
+    lib = ctypes.CDLL(str(lib_path))
+
+    from numpy.ctypeslib import ndpointer
+
+    f64 = ndpointer(np.float64, flags="C_CONTIGUOUS")
+    i32 = ndpointer(np.int32, flags="C_CONTIGUOUS")
+    i64 = ndpointer(np.int64, flags="C_CONTIGUOUS")
+    lib.forest_sum.argtypes = [
+        f64, ctypes.c_int64, ctypes.c_int64,
+        i32, f64, i32, f64,
+        i64, i64, ctypes.c_int64, ctypes.c_int, f64,
+    ]
+    lib.forest_sum.restype = None
+    lib.forest_apply.argtypes = [
+        f64, ctypes.c_int64, ctypes.c_int64,
+        i32, f64, i32,
+        i64, i64, ctypes.c_int64, ctypes.c_int,
+        ndpointer(np.int32, flags=("C_CONTIGUOUS", "WRITEABLE")),
+    ]
+    lib.forest_apply.restype = None
+    return lib
+
+
+def _get_lib() -> ctypes.CDLL | None:
+    global _lib, _load_attempted
+    if os.environ.get("REPRO_DISABLE_NATIVE"):
+        return None
+    if not _load_attempted:
+        _load_attempted = True
+        try:
+            _lib = _compile_and_load()
+        except Exception:
+            _lib = None
+    return _lib
+
+
+def available() -> bool:
+    """Whether the compiled kernels can be used in this environment."""
+    return _get_lib() is not None
+
+
+def forest_sum(
+    X: np.ndarray,
+    feature: np.ndarray,
+    threshold: np.ndarray,
+    child: np.ndarray,
+    value_flat: np.ndarray,
+    roots: np.ndarray,
+    depths: np.ndarray,
+    strict: bool,
+) -> np.ndarray | None:
+    """Sum of scalar leaf payloads over all trees, or ``None`` if unavailable."""
+    lib = _get_lib()
+    if lib is None:
+        return None
+    X = np.ascontiguousarray(X, dtype=np.float64)
+    out = np.zeros(X.shape[0], dtype=np.float64)
+    lib.forest_sum(
+        X, X.shape[0], X.shape[1],
+        feature, threshold, child, value_flat,
+        roots, depths, roots.shape[0], int(strict), out,
+    )
+    return out
+
+
+def forest_apply(
+    X: np.ndarray,
+    feature: np.ndarray,
+    threshold: np.ndarray,
+    child: np.ndarray,
+    roots: np.ndarray,
+    depths: np.ndarray,
+    strict: bool,
+) -> np.ndarray | None:
+    """``(n_trees, n_samples)`` absolute leaf ids, or ``None`` if unavailable."""
+    lib = _get_lib()
+    if lib is None:
+        return None
+    X = np.ascontiguousarray(X, dtype=np.float64)
+    out = np.empty((roots.shape[0], X.shape[0]), dtype=np.int32)
+    lib.forest_apply(
+        X, X.shape[0], X.shape[1],
+        feature, threshold, child,
+        roots, depths, roots.shape[0], int(strict), out,
+    )
+    return out

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ml.binning import histogram_log_densities
 from repro.novelty.base import NoveltyDetector
-from repro.utils.validation import check_array, check_fitted
+from repro.utils.validation import check_array, check_fitted, check_n_features
 
 __all__ = ["HBOS"]
 
@@ -71,17 +72,23 @@ class HBOS(NoveltyDetector):
         X = check_array(X, name="X", allow_empty=True)
         if X.shape[0] == 0:
             return np.empty(0)
-        if X.shape[1] != self.bin_edges_.shape[0]:
-            raise ValueError(
-                f"X has {X.shape[1]} features, detector was fitted with {self.bin_edges_.shape[0]}"
-            )
+        check_n_features(X, self.bin_edges_.shape[0], fitted_with="detector was fitted")
+        # All features binned in one batched searchsorted; out-of-range
+        # values get the density of the emptiest bin (the smoothing floor).
+        return -histogram_log_densities(X, self.bin_edges_, self.log_densities_).sum(axis=1)
+
+    def _score_samples_naive(self, X: np.ndarray) -> np.ndarray:
+        """Per-feature scoring loop kept for equivalence tests and benchmarks."""
+        check_fitted(self, "bin_edges_")
+        X = check_array(X, name="X", allow_empty=True)
+        if X.shape[0] == 0:
+            return np.empty(0)
+        check_n_features(X, self.bin_edges_.shape[0], fitted_with="detector was fitted")
         scores = np.zeros(X.shape[0])
         for j in range(X.shape[1]):
             edges = self.bin_edges_[j]
             bins = np.clip(np.searchsorted(edges, X[:, j], side="right") - 1, 0, self.n_bins - 1)
             log_density = self.log_densities_[j][bins]
-            # Values outside the training range get the density of the
-            # emptiest bin of that feature (the smoothing floor).
             out_of_range = (X[:, j] < edges[0]) | (X[:, j] > edges[-1])
             log_density = np.where(out_of_range, self.log_densities_[j].min(), log_density)
             scores -= log_density

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.ml.flat_tree import FlatForest, flatten_tree
 from repro.novelty.base import NoveltyDetector
 from repro.utils.random import check_random_state
 from repro.utils.validation import check_array, check_fitted
@@ -66,6 +67,7 @@ def _build_tree(
 
 
 def _path_lengths(node: _Node, X: np.ndarray, depth: float, out: np.ndarray, idx: np.ndarray) -> None:
+    """Recursive per-node reference kept for equivalence tests and benchmarks."""
     if node.is_leaf:
         out[idx] = depth + (average_path_length(node.size)[0] if node.size > 1 else 0.0)
         return
@@ -74,6 +76,18 @@ def _path_lengths(node: _Node, X: np.ndarray, depth: float, out: np.ndarray, idx
         _path_lengths(node.left, X, depth + 1.0, out, idx[mask])
     if (~mask).any():
         _path_lengths(node.right, X, depth + 1.0, out, idx[~mask])
+
+
+def _leaf_path_length(node: _Node, depth: int) -> float:
+    """Flat-tree payload: total path length credited at a leaf.
+
+    The payload equals leaf depth plus the ``c(size)`` adjustment for
+    unresolved leaves, so a single gather after batch traversal yields the
+    same value the recursive walk accumulates along the path.
+    """
+    if not node.is_leaf:
+        return 0.0
+    return depth + (average_path_length(node.size)[0] if node.size > 1 else 0.0)
 
 
 class IsolationForest(NoveltyDetector):
@@ -102,6 +116,7 @@ class IsolationForest(NoveltyDetector):
         self.max_samples = max_samples
         self.random_state = random_state
         self.trees_: list[_Node] | None = None
+        self.forest_: FlatForest | None = None
         self.subsample_size_: int | None = None
 
     def fit(self, X: np.ndarray) -> "IsolationForest":
@@ -114,11 +129,26 @@ class IsolationForest(NoveltyDetector):
             idx = rng.choice(X.shape[0], psi, replace=False)
             trees.append(_build_tree(X[idx], 0, max_depth, rng))
         self.trees_ = trees
+        # Compile the ensemble to one flat forest (strict "<" comparator,
+        # leaf payload = depth + c(size)) for batch scoring.
+        self.forest_ = FlatForest.from_flat_trees(
+            [flatten_tree(tree, _leaf_path_length, strict=True) for tree in trees]
+        )
         self.subsample_size_ = psi
         self._set_default_threshold(self.score_samples(X))
         return self
 
     def score_samples(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "trees_")
+        X = check_array(X, name="X", allow_empty=True)
+        if X.shape[0] == 0:
+            return np.empty(0)
+        mean_depth = self.forest_.sum_values(X)[:, 0] / self.forest_.n_trees
+        c = average_path_length(self.subsample_size_)[0]
+        return np.power(2.0, -mean_depth / max(c, 1e-12))
+
+    def _score_samples_naive(self, X: np.ndarray) -> np.ndarray:
+        """Recursive per-tree reference kept for equivalence tests and benchmarks."""
         check_fitted(self, "trees_")
         X = check_array(X, name="X", allow_empty=True)
         if X.shape[0] == 0:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.distances import pairwise_euclidean
+from repro.ml.distances import pairwise_euclidean, pairwise_topk
 from repro.novelty.base import NoveltyDetector
 from repro.utils.validation import check_array, check_fitted
 
@@ -28,6 +28,10 @@ class KNNDetector(NoveltyDetector):
         k-th (largest of the k) distance.
     max_train_samples:
         Training subsample size bounding the quadratic distance cost.
+    block_size:
+        Scoring processes queries in blocks of this many rows, so peak extra
+        memory is O(``block_size`` x n_train) floats instead of the full
+        n_queries x n_train distance matrix.
     """
 
     def __init__(
@@ -36,6 +40,7 @@ class KNNDetector(NoveltyDetector):
         *,
         aggregation: str = "mean",
         max_train_samples: int | None = 2000,
+        block_size: int = 1024,
         threshold_quantile: float = 0.95,
         random_state: int | None = 0,
     ) -> None:
@@ -44,9 +49,12 @@ class KNNDetector(NoveltyDetector):
             raise ValueError("n_neighbors must be at least 1")
         if aggregation not in ("mean", "max"):
             raise ValueError("aggregation must be 'mean' or 'max'")
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1")
         self.n_neighbors = n_neighbors
         self.aggregation = aggregation
         self.max_train_samples = max_train_samples
+        self.block_size = block_size
         self.random_state = random_state
         self.X_train_: np.ndarray | None = None
 
@@ -61,12 +69,12 @@ class KNNDetector(NoveltyDetector):
                 f"training set must contain more than n_neighbors={self.n_neighbors} samples"
             )
         self.X_train_ = X
-        # Training-score distribution for the default threshold: exclude the
-        # point itself (distance zero) by taking neighbours 1..k of each row.
-        distances = pairwise_euclidean(X, X)
-        np.fill_diagonal(distances, np.inf)
-        train_scores = self._aggregate(np.sort(distances, axis=1)[:, : self.n_neighbors])
-        self._set_default_threshold(train_scores)
+        # Training-score distribution for the default threshold: the point
+        # itself (distance zero) is excluded from its own neighbour set.
+        _, neighbor_dist = pairwise_topk(
+            X, X, self.n_neighbors, block_size=self.block_size, exclude_self=True
+        )
+        self._set_default_threshold(self._aggregate(neighbor_dist))
         return self
 
     def _aggregate(self, neighbor_distances: np.ndarray) -> np.ndarray:
@@ -75,6 +83,17 @@ class KNNDetector(NoveltyDetector):
         return neighbor_distances[:, -1]
 
     def score_samples(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "X_train_")
+        X = check_array(X, name="X", allow_empty=True)
+        if X.shape[0] == 0:
+            return np.empty(0)
+        _, nearest = pairwise_topk(
+            X, self.X_train_, self.n_neighbors, block_size=self.block_size
+        )
+        return self._aggregate(nearest)
+
+    def _score_samples_naive(self, X: np.ndarray) -> np.ndarray:
+        """Full-matrix full-sort reference kept for equivalence tests and benchmarks."""
         check_fitted(self, "X_train_")
         X = check_array(X, name="X", allow_empty=True)
         if X.shape[0] == 0:

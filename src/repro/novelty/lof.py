@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.distances import pairwise_euclidean
+from repro.ml.distances import pairwise_euclidean, pairwise_topk
 from repro.novelty.base import NoveltyDetector
 from repro.utils.validation import check_array, check_fitted
 
@@ -27,6 +27,10 @@ class LocalOutlierFactor(NoveltyDetector):
     max_train_samples:
         The training set is subsampled to this size (uniformly at random) to
         bound the quadratic distance computations; ``None`` keeps everything.
+    block_size:
+        Neighbour search processes queries in blocks of this many rows, so
+        peak extra memory is O(``block_size`` x n_train) floats instead of
+        the full n_queries x n_train distance matrix.
     """
 
     def __init__(
@@ -34,14 +38,18 @@ class LocalOutlierFactor(NoveltyDetector):
         n_neighbors: int = 20,
         *,
         max_train_samples: int | None = 2000,
+        block_size: int = 1024,
         threshold_quantile: float = 0.95,
         random_state: int | None = 0,
     ) -> None:
         super().__init__(threshold_quantile=threshold_quantile)
         if n_neighbors < 1:
             raise ValueError("n_neighbors must be at least 1")
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1")
         self.n_neighbors = n_neighbors
         self.max_train_samples = max_train_samples
+        self.block_size = block_size
         self.random_state = random_state
         self.X_train_: np.ndarray | None = None
         self._train_k_distance: np.ndarray | None = None
@@ -59,12 +67,9 @@ class LocalOutlierFactor(NoveltyDetector):
                 f"training set must contain more than n_neighbors={self.n_neighbors} samples"
             )
         self.X_train_ = X
-        k = self.n_neighbors
-
-        distances = pairwise_euclidean(X, X)
-        np.fill_diagonal(distances, np.inf)
-        neighbor_idx = np.argsort(distances, axis=1)[:, :k]
-        neighbor_dist = np.take_along_axis(distances, neighbor_idx, axis=1)
+        neighbor_idx, neighbor_dist = pairwise_topk(
+            X, X, self.n_neighbors, block_size=self.block_size, exclude_self=True
+        )
         # k-distance of each training point = distance to its k-th neighbour.
         self._train_k_distance = neighbor_dist[:, -1]
 
@@ -86,6 +91,17 @@ class LocalOutlierFactor(NoveltyDetector):
 
     # -- scoring ---------------------------------------------------------------
     def score_samples(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "X_train_")
+        X = check_array(X, name="X", allow_empty=True)
+        if X.shape[0] == 0:
+            return np.empty(0)
+        neighbor_idx, neighbor_dist = pairwise_topk(
+            X, self.X_train_, self.n_neighbors, block_size=self.block_size
+        )
+        return self._lof_from_neighbors(neighbor_idx, neighbor_dist)
+
+    def _score_samples_naive(self, X: np.ndarray) -> np.ndarray:
+        """Full-matrix full-argsort reference kept for equivalence tests and benchmarks."""
         check_fitted(self, "X_train_")
         X = check_array(X, name="X", allow_empty=True)
         if X.shape[0] == 0:

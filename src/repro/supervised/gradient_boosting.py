@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ml.flat_tree import FlatForest
 from repro.supervised.tree import DecisionTreeRegressor
 from repro.utils.random import check_random_state
 from repro.utils.validation import (
@@ -16,6 +17,7 @@ from repro.utils.validation import (
     check_binary_labels,
     check_consistent_length,
     check_fitted,
+    check_n_features,
 )
 
 __all__ = ["GradientBoostingClassifier"]
@@ -61,6 +63,7 @@ class GradientBoostingClassifier:
         self.subsample = subsample
         self.random_state = random_state
         self.trees_: list[DecisionTreeRegressor] | None = None
+        self.forest_: FlatForest | None = None
         self.initial_log_odds_: float | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
@@ -85,18 +88,33 @@ class GradientBoostingClassifier:
                 max_depth=self.max_depth, min_samples_leaf=5, random_state=rng
             )
             tree.fit(X[idx], residual[idx])
-            raw += self.learning_rate * tree.predict(X)
+            # X was validated once above; traverse the freshly compiled flat
+            # tree directly rather than re-validating per round.
+            raw += self.learning_rate * tree.flat_.predict(X)[:, 0]
             trees.append(tree)
         self.trees_ = trees
+        # Compile the rounds into one flat forest: the additive score is a
+        # single ensemble traversal instead of a per-round Python loop.
+        self.forest_ = FlatForest.from_flat_trees([tree.flat_ for tree in trees])
         return self
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Raw additive log-odds score before the sigmoid."""
         check_fitted(self, "trees_")
         X = check_array(X, name="X", allow_empty=True)
+        check_n_features(X, self.trees_[0].n_features_, fitted_with="model was fitted")
+        return (
+            self.initial_log_odds_
+            + self.learning_rate * self.forest_.sum_values(X)[:, 0]
+        )
+
+    def _decision_function_naive(self, X: np.ndarray) -> np.ndarray:
+        """Per-round accumulation reference kept for equivalence tests and benchmarks."""
+        check_fitted(self, "trees_")
+        X = check_array(X, name="X", allow_empty=True)
         raw = np.full(X.shape[0], self.initial_log_odds_)
         for tree in self.trees_:
-            raw += self.learning_rate * tree.predict(X)
+            raw += self.learning_rate * tree._predict_values_naive(X)[:, 0]
         return raw
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

@@ -4,9 +4,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ml.flat_tree import FlatForest, FlatTree
 from repro.supervised.tree import DecisionTreeClassifier
 from repro.utils.random import check_random_state
-from repro.utils.validation import check_array, check_consistent_length, check_fitted
+from repro.utils.validation import (
+    check_array,
+    check_consistent_length,
+    check_fitted,
+    check_n_features,
+)
 
 __all__ = ["RandomForestClassifier"]
 
@@ -41,6 +47,7 @@ class RandomForestClassifier:
         self.max_features = max_features
         self.random_state = random_state
         self.trees_: list[DecisionTreeClassifier] | None = None
+        self.forest_: FlatForest | None = None
         self.classes_: np.ndarray | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
@@ -62,20 +69,44 @@ class RandomForestClassifier:
             tree.fit(X[idx], y[idx])
             trees.append(tree)
         self.trees_ = trees
+        # Compile all trees into one flat forest whose leaf payloads are
+        # pre-aligned to the forest's class set (a bootstrap may miss a rare
+        # class), so prediction is a single ensemble traversal.
+        aligned: list[FlatTree] = []
+        for tree in trees:
+            flat = tree.flat_
+            value = np.zeros((flat.value.shape[0], len(self.classes_)))
+            value[:, np.searchsorted(self.classes_, tree.classes_)] = flat.value
+            aligned.append(
+                FlatTree(
+                    feature=flat.feature,
+                    threshold=flat.threshold,
+                    left=flat.left,
+                    right=flat.right,
+                    value=value,
+                    strict=flat.strict,
+                )
+            )
+        self.forest_ = FlatForest.from_flat_trees(aligned)
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Average of per-tree class-probability estimates, aligned to ``classes_``."""
         check_fitted(self, "trees_")
         X = check_array(X, name="X", allow_empty=True)
+        check_n_features(X, self.trees_[0].n_features_, fitted_with="forest was fitted")
         if X.shape[0] == 0:
             return np.empty((0, len(self.classes_)))
+        return self.forest_.sum_values(X) / len(self.trees_)
+
+    def _predict_proba_naive(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree aggregation reference kept for equivalence tests and benchmarks."""
+        check_fitted(self, "trees_")
+        X = check_array(X, name="X", allow_empty=True)
         proba = np.zeros((X.shape[0], len(self.classes_)))
         for tree in self.trees_:
-            tree_proba = tree.predict_proba(X)
-            # Align tree classes (a bootstrap may miss a rare class) to forest classes.
             col_index = np.searchsorted(self.classes_, tree.classes_)
-            proba[:, col_index] += tree_proba
+            proba[:, col_index] += tree._predict_values_naive(X)
         return proba / len(self.trees_)
 
     def predict(self, X: np.ndarray) -> np.ndarray:

@@ -43,6 +43,27 @@ class Timer:
             return 0.0
         return self.total / self.n_calls
 
+    def throughput(self, n_items: int) -> float:
+        """Items processed per second, assuming each timed block handled ``n_items``.
+
+        Shared rate math for the Table IV overhead measurement and the
+        inference throughput benchmark.  Returns 0.0 when the timer was never
+        used, and ``inf`` when time was measured but below the clock
+        resolution — an immeasurably fast run must rank as the *fastest*
+        rate, not the slowest, so medians over rates keep their order.
+
+        Examples
+        --------
+        >>> timer = Timer(total=2.0, n_calls=1)
+        >>> timer.throughput(1000)
+        500.0
+        """
+        if self.n_calls == 0:
+            return 0.0
+        if self.total <= 0.0:
+            return float("inf")
+        return n_items * self.n_calls / self.total
+
     def reset(self) -> None:
         """Zero the accumulated time and call count."""
         self.total = 0.0

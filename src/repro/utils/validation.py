@@ -11,6 +11,7 @@ __all__ = [
     "check_binary_labels",
     "check_consistent_length",
     "check_fitted",
+    "check_n_features",
 ]
 
 
@@ -90,4 +91,18 @@ def check_fitted(estimator: Any, attribute: str) -> None:
     if getattr(estimator, attribute, None) is None:
         raise RuntimeError(
             f"{type(estimator).__name__} is not fitted yet; call fit() before using this method"
+        )
+
+
+def check_n_features(X: Any, n_features: int, *, fitted_with: str = "fitted") -> None:
+    """Raise ``ValueError`` if ``X`` does not have exactly ``n_features`` columns.
+
+    Shared guard for every estimator that validates query batches against the
+    feature count seen at fit time; applied to empty batches too, so a wiring
+    bug that produces wrong-width batches is caught even when they carry no
+    rows.
+    """
+    if X.shape[1] != n_features:
+        raise ValueError(
+            f"X has {X.shape[1]} features, {fitted_with} with {n_features}"
         )

@@ -152,3 +152,16 @@ class TestTimer:
         timer.reset()
         assert timer.total == 0.0
         assert timer.n_calls == 0
+
+    def test_throughput_is_items_per_second(self):
+        timer = Timer(total=2.0, n_calls=1)
+        assert timer.throughput(1000) == pytest.approx(500.0)
+
+    def test_throughput_accumulates_over_blocks(self):
+        # Two timed blocks of the same batch size halve nothing: the rate is
+        # items-per-block divided by the mean block time.
+        timer = Timer(total=4.0, n_calls=2)
+        assert timer.throughput(1000) == pytest.approx(500.0)
+
+    def test_throughput_without_time_is_zero(self):
+        assert Timer().throughput(1000) == 0.0

@@ -1,0 +1,436 @@
+"""Equivalence of the vectorized batch-inference paths against naive references.
+
+Every scoring path that was vectorized (flattened trees, the blockwise top-k
+neighbour kernel, batched histogram binning, k-means assignment/updates) must
+reproduce the retained naive reference implementation to within
+``rtol=1e-9`` — most paths are required to be bit-identical.  The flat-forest
+paths are exercised both with the native (compiled) kernels and with the
+pure-NumPy fallback (``REPRO_DISABLE_NATIVE``).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.ml import KMeans, pairwise_euclidean, pairwise_squared_euclidean, pairwise_topk
+from repro.ml.binning import batch_bin_right, batch_searchsorted_right
+from repro.novelty import HBOS, LODA, IsolationForest, KNNDetector, LocalOutlierFactor
+from repro.supervised import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+)
+
+
+@pytest.fixture(params=["native", "numpy"])
+def traversal_backend(request, monkeypatch):
+    """Run flat-forest dependent tests on both traversal backends."""
+    if request.param == "numpy":
+        monkeypatch.setenv("REPRO_DISABLE_NATIVE", "1")
+    else:
+        from repro.ml import native
+
+        monkeypatch.delenv("REPRO_DISABLE_NATIVE", raising=False)
+        if not native.available():
+            pytest.skip("native kernels unavailable (no C compiler)")
+    return request.param
+
+
+def _random_data(seed: int = 0, n: int = 300, d: int = 6):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] + 0.3 * rng.normal(size=n) > 0).astype(np.int64)
+    return X, y, rng
+
+
+class TestFlatTreeEquivalence:
+    def test_classifier_matches_naive(self, traversal_backend):
+        X, y, rng = _random_data(0)
+        y[::7] += 1  # three classes
+        tree = DecisionTreeClassifier(max_depth=7, random_state=0).fit(X, y)
+        X_query = rng.normal(size=(500, X.shape[1]))
+        np.testing.assert_array_equal(
+            tree._predict_values(X_query), tree._predict_values_naive(X_query)
+        )
+
+    def test_regressor_matches_naive(self, traversal_backend):
+        X, _, rng = _random_data(1)
+        y = np.sin(X[:, 0]) + 0.1 * rng.normal(size=X.shape[0])
+        tree = DecisionTreeRegressor(max_depth=7, random_state=0).fit(X, y)
+        X_query = rng.normal(size=(500, X.shape[1]))
+        np.testing.assert_array_equal(
+            tree._predict_values(X_query), tree._predict_values_naive(X_query)
+        )
+
+    def test_single_feature_input(self, traversal_backend):
+        X, _, rng = _random_data(2, d=1)
+        y = (X[:, 0] > 0).astype(np.int64)
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        X_query = rng.normal(size=(100, 1))
+        np.testing.assert_array_equal(
+            tree._predict_values(X_query), tree._predict_values_naive(X_query)
+        )
+
+    def test_empty_query(self, traversal_backend):
+        X, y, _ = _random_data(3)
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        assert tree._predict_values(np.empty((0, X.shape[1]))).shape == (0, 2)
+
+    def test_flat_tree_frontier_traversal_matches_naive(self):
+        # FlatTree.apply/predict is the mid-level NumPy frontier traversal;
+        # keep it equivalent even though hot paths compile to FlatForest.
+        X, y, rng = _random_data(5)
+        tree = DecisionTreeClassifier(max_depth=6, random_state=0).fit(X, y)
+        X_query = rng.normal(size=(200, X.shape[1]))
+        np.testing.assert_array_equal(
+            tree.flat_.predict(X_query), tree._predict_values_naive(X_query)
+        )
+        leaves = tree.flat_.apply(X_query)
+        assert np.all(tree.flat_.left[leaves] == -1)
+
+    def test_flat_forest_rejects_non_finite_input(self):
+        # The self-looping-leaf layout requires finite features; the public
+        # FlatForest entry points must reject inf/NaN like check_array does.
+        X, y, _ = _random_data(6)
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        bad_rows = [np.full((1, X.shape[1]), np.inf), np.full((1, X.shape[1]), np.nan)]
+        tree.predict(X[:1])  # force lazy forest compilation
+        for bad in bad_rows:
+            with pytest.raises(ValueError, match="NaN or infinite"):
+                tree._forest_.sum_values(bad)
+            with pytest.raises(ValueError, match="NaN or infinite"):
+                tree._forest_.apply(bad)
+
+    def test_stump_and_pure_leaf(self, traversal_backend):
+        X, y, rng = _random_data(4)
+        stump = DecisionTreeClassifier(max_depth=1, random_state=0).fit(X, y)
+        X_query = rng.normal(size=(50, X.shape[1]))
+        np.testing.assert_array_equal(
+            stump._predict_values(X_query), stump._predict_values_naive(X_query)
+        )
+        leaf_only = DecisionTreeClassifier(max_depth=3, random_state=0).fit(
+            X, np.zeros(X.shape[0], dtype=np.int64)
+        )
+        np.testing.assert_array_equal(
+            leaf_only._predict_values(X_query), leaf_only._predict_values_naive(X_query)
+        )
+
+
+class TestBestSplitEquivalence:
+    def test_classifier_split_identical(self):
+        for seed in range(5):
+            X, y, _ = _random_data(seed, n=120, d=4)
+            tree = DecisionTreeClassifier(random_state=0)
+            tree.classes_ = np.unique(y)
+            tree.n_features_ = X.shape[1]
+            tree._rng = np.random.default_rng(seed)
+            fast = tree._best_split(X, y)
+            tree._rng = np.random.default_rng(seed)
+            naive = tree._best_split_naive(X, y)
+            if naive is None:
+                assert fast is None
+                continue
+            assert fast[0] == naive[0]
+            assert fast[1] == naive[1]
+            np.testing.assert_array_equal(fast[2], naive[2])
+
+    def test_regressor_split_close(self):
+        for seed in range(5):
+            X, _, rng = _random_data(seed, n=120, d=4)
+            y = X[:, 0] ** 2 + 0.1 * rng.normal(size=X.shape[0])
+            tree = DecisionTreeRegressor(random_state=0)
+            tree.n_features_ = X.shape[1]
+            tree._rng = np.random.default_rng(seed)
+            fast = tree._best_split(X, y)
+            tree._rng = np.random.default_rng(seed)
+            naive = tree._best_split_naive(X, y)
+            assert (fast is None) == (naive is None)
+            if fast is not None:
+                assert fast[0] == naive[0]
+                np.testing.assert_allclose(fast[1], naive[1], rtol=1e-9)
+
+    def test_regressor_children_impurities_match_variance(self):
+        X, _, rng = _random_data(7, n=200, d=1)
+        y = rng.normal(size=X.shape[0])
+        tree = DecisionTreeRegressor(random_state=0)
+        order = np.argsort(X[:, 0], kind="stable")
+        y_sorted = y[order]
+        n_left = np.arange(1, X.shape[0])
+        imp_left, imp_right = tree._children_impurities(y_sorted, n_left)
+        for i, k in enumerate(n_left):
+            np.testing.assert_allclose(imp_left[i], y_sorted[:k].var(), rtol=1e-9, atol=1e-12)
+            np.testing.assert_allclose(imp_right[i], y_sorted[k:].var(), rtol=1e-9, atol=1e-12)
+
+
+class TestEnsembleEquivalence:
+    def test_random_forest_matches_per_tree_naive(self, traversal_backend):
+        X, y, rng = _random_data(10)
+        forest = RandomForestClassifier(n_estimators=7, max_depth=6, random_state=0).fit(X, y)
+        X_query = rng.normal(size=(200, X.shape[1]))
+        np.testing.assert_allclose(
+            forest.predict_proba(X_query),
+            forest._predict_proba_naive(X_query),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+    def test_gradient_boosting_matches_per_tree_naive(self, traversal_backend):
+        X, y, rng = _random_data(11)
+        model = GradientBoostingClassifier(n_estimators=12, random_state=0).fit(X, y)
+        X_query = rng.normal(size=(200, X.shape[1]))
+        np.testing.assert_allclose(
+            model.decision_function(X_query),
+            model._decision_function_naive(X_query),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+    def test_isolation_forest_matches_naive(self, traversal_backend):
+        X, _, rng = _random_data(12, n=400, d=5)
+        detector = IsolationForest(n_estimators=25, max_samples=64, random_state=0).fit(X)
+        X_query = np.vstack([rng.normal(size=(300, 5)), rng.normal(6.0, 1.0, size=(50, 5))])
+        np.testing.assert_allclose(
+            detector.score_samples(X_query),
+            detector._score_samples_naive(X_query),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+    def test_isolation_forest_single_feature_and_empty(self, traversal_backend):
+        X, _, rng = _random_data(13, n=200, d=1)
+        detector = IsolationForest(n_estimators=10, max_samples=32, random_state=0).fit(X)
+        X_query = rng.normal(size=(50, 1))
+        np.testing.assert_allclose(
+            detector.score_samples(X_query),
+            detector._score_samples_naive(X_query),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+        assert detector.score_samples(np.empty((0, 1))).shape == (0,)
+
+
+class TestTopKEquivalence:
+    def test_matches_full_sort(self):
+        rng = np.random.default_rng(20)
+        A = rng.normal(size=(83, 5))
+        B = rng.normal(size=(37, 5))
+        full = pairwise_euclidean(A, B)
+        order = np.argsort(full, axis=1)
+        for k in (1, 3, B.shape[0] - 1, B.shape[0]):
+            idx, dist = pairwise_topk(A, B, k, block_size=16)
+            np.testing.assert_array_equal(idx, order[:, :k])
+            np.testing.assert_allclose(
+                dist, np.take_along_axis(full, order[:, :k], axis=1), rtol=0, atol=0
+            )
+
+    def test_exclude_self_matches_masked_full_sort(self):
+        rng = np.random.default_rng(21)
+        X = rng.normal(size=(40, 4))
+        full = pairwise_euclidean(X, X)
+        np.fill_diagonal(full, np.inf)
+        order = np.argsort(full, axis=1)
+        for k in (1, 5, X.shape[0] - 1):  # includes k == n_train - 1
+            idx, dist = pairwise_topk(X, X, k, block_size=7, exclude_self=True)
+            np.testing.assert_array_equal(idx, order[:, :k])
+            np.testing.assert_allclose(
+                dist, np.take_along_axis(full, order[:, :k], axis=1), rtol=0, atol=0
+            )
+
+    def test_squared_option(self):
+        rng = np.random.default_rng(22)
+        A = rng.normal(size=(20, 3))
+        B = rng.normal(size=(15, 3))
+        _, dist = pairwise_topk(A, B, 4, squared=True)
+        _, dist_euclid = pairwise_topk(A, B, 4)
+        np.testing.assert_allclose(np.sqrt(dist), dist_euclid, rtol=0, atol=0)
+
+    def test_validation_errors(self):
+        A = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            pairwise_topk(A, np.zeros((4, 3)), 1)
+        with pytest.raises(ValueError):
+            pairwise_topk(A, A, 0)
+        with pytest.raises(ValueError):
+            pairwise_topk(A, A, 5)
+        with pytest.raises(ValueError):
+            pairwise_topk(A, A, 4, exclude_self=True)
+        with pytest.raises(ValueError):
+            pairwise_topk(A, np.zeros((5, 2)), 1, exclude_self=True)
+        with pytest.raises(ValueError):
+            pairwise_topk(A, A, 1, block_size=0)
+
+    def test_memory_bounded_by_block_size(self):
+        rng = np.random.default_rng(23)
+        A = rng.normal(size=(1500, 8))
+        B = rng.normal(size=(3000, 8))
+        full_matrix_bytes = A.shape[0] * B.shape[0] * 8
+        tracemalloc.start()
+        pairwise_topk(A, B, 5, block_size=64)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # The blockwise kernel must stay well under the full-matrix footprint.
+        assert peak < full_matrix_bytes / 2
+
+
+class TestNeighborDetectorEquivalence:
+    def test_knn_matches_naive(self):
+        rng = np.random.default_rng(30)
+        X_train = rng.normal(size=(80, 4))
+        X_query = rng.normal(size=(60, 4))
+        for aggregation in ("mean", "max"):
+            detector = KNNDetector(
+                n_neighbors=5, aggregation=aggregation, block_size=13, random_state=0
+            ).fit(X_train)
+            np.testing.assert_allclose(
+                detector.score_samples(X_query),
+                detector._score_samples_naive(X_query),
+                rtol=0,
+                atol=0,
+            )
+
+    def test_knn_k_equals_n_train_minus_one(self):
+        rng = np.random.default_rng(31)
+        X_train = rng.normal(size=(12, 3))
+        detector = KNNDetector(n_neighbors=11, max_train_samples=None).fit(X_train)
+        X_query = rng.normal(size=(9, 3))
+        np.testing.assert_allclose(
+            detector.score_samples(X_query),
+            detector._score_samples_naive(X_query),
+            rtol=0,
+            atol=0,
+        )
+
+    def test_lof_matches_naive_and_full_matrix_fit(self):
+        rng = np.random.default_rng(32)
+        X_train = rng.normal(size=(90, 4))
+        detector = LocalOutlierFactor(n_neighbors=8, block_size=17, random_state=0).fit(X_train)
+
+        # Reference fit quantities from the full distance matrix.
+        distances = pairwise_euclidean(X_train, X_train)
+        np.fill_diagonal(distances, np.inf)
+        neighbor_idx = np.argsort(distances, axis=1)[:, :8]
+        neighbor_dist = np.take_along_axis(distances, neighbor_idx, axis=1)
+        k_distance = neighbor_dist[:, -1]
+        reach = np.maximum(k_distance[neighbor_idx], neighbor_dist)
+        lrd = 1.0 / (reach.mean(axis=1) + 1e-12)
+        np.testing.assert_allclose(detector._train_k_distance, k_distance, rtol=1e-12)
+        np.testing.assert_allclose(detector._train_lrd, lrd, rtol=1e-12)
+
+        X_query = rng.normal(size=(70, 4))
+        np.testing.assert_allclose(
+            detector.score_samples(X_query),
+            detector._score_samples_naive(X_query),
+            rtol=0,
+            atol=0,
+        )
+
+
+class TestHistogramDetectorEquivalence:
+    def test_batch_bin_right_matches_searchsorted(self):
+        rng = np.random.default_rng(40)
+        d, n_bins = 7, 12
+        low = rng.normal(size=d)
+        edges = np.linspace(low, low + rng.uniform(0.5, 4.0, size=d), n_bins + 1, axis=1)
+        values = rng.normal(size=(200, d)) * 3
+        expected = np.column_stack(
+            [
+                np.clip(
+                    np.searchsorted(edges[j], values[:, j], side="right") - 1,
+                    0,
+                    n_bins - 1,
+                )
+                for j in range(d)
+            ]
+        )
+        np.testing.assert_array_equal(batch_bin_right(edges, values), expected)
+        np.testing.assert_array_equal(
+            np.clip(batch_searchsorted_right(edges, values) - 1, 0, n_bins - 1),
+            expected,
+        )
+
+    def test_hbos_matches_naive_including_out_of_range(self):
+        rng = np.random.default_rng(41)
+        X_train = rng.normal(size=(300, 5))
+        detector = HBOS(n_bins=15).fit(X_train)
+        X_query = rng.normal(size=(150, 5)) * 4  # many out-of-range values
+        np.testing.assert_allclose(
+            detector.score_samples(X_query),
+            detector._score_samples_naive(X_query),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+    def test_hbos_single_feature(self):
+        rng = np.random.default_rng(42)
+        X_train = rng.normal(size=(100, 1))
+        detector = HBOS(n_bins=8).fit(X_train)
+        X_query = rng.normal(size=(40, 1)) * 3
+        np.testing.assert_allclose(
+            detector.score_samples(X_query),
+            detector._score_samples_naive(X_query),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+    def test_loda_matches_naive(self):
+        rng = np.random.default_rng(43)
+        X_train = rng.normal(size=(250, 6))
+        detector = LODA(n_projections=20, n_bins=12, random_state=0).fit(X_train)
+        X_query = rng.normal(size=(120, 6)) * 3
+        np.testing.assert_allclose(
+            detector.score_samples(X_query),
+            detector._score_samples_naive(X_query),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+
+class TestKMeansEquivalence:
+    def test_assignment_matches_argmin(self):
+        rng = np.random.default_rng(50)
+        X = rng.normal(size=(200, 4))
+        model = KMeans(n_clusters=5, n_init=1, block_size=33, random_state=0).fit(X)
+        expected = pairwise_squared_euclidean(X, model.cluster_centers_).argmin(axis=1)
+        np.testing.assert_array_equal(model.predict(X), expected)
+
+    def test_update_centers_matches_naive_loop(self):
+        rng = np.random.default_rng(51)
+        X = rng.normal(size=(150, 3))
+        model = KMeans(n_clusters=6, random_state=0)
+        centers = X[rng.choice(150, 6, replace=False)]
+        distances = pairwise_squared_euclidean(X, centers)
+        labels = distances.argmin(axis=1)
+        nearest_sq = distances.min(axis=1)
+
+        new_centers = model._update_centers(X, labels, nearest_sq, centers)
+
+        reference = centers.copy()
+        for k in range(6):
+            members = X[labels == k]
+            if members.shape[0] > 0:
+                reference[k] = members.mean(axis=0)
+            else:
+                reference[k] = X[nearest_sq.argmax()]
+        np.testing.assert_allclose(new_centers, reference, rtol=1e-9, atol=1e-12)
+
+    def test_empty_cluster_reseeded_like_naive(self):
+        rng = np.random.default_rng(52)
+        X = rng.normal(size=(50, 2))
+        model = KMeans(n_clusters=3, random_state=0)
+        centers = np.vstack([X[0], X[1], X[:10].mean(axis=0) + 100.0])  # last is empty
+        distances = pairwise_squared_euclidean(X, centers)
+        labels = distances.argmin(axis=1)
+        nearest_sq = distances.min(axis=1)
+        new_centers = model._update_centers(X, labels, nearest_sq, centers)
+        np.testing.assert_allclose(new_centers[2], X[nearest_sq.argmax()])
+
+    def test_labels_consistent_with_final_centers(self):
+        rng = np.random.default_rng(53)
+        X = np.vstack([rng.normal(size=(80, 3)), rng.normal(5.0, 1.0, size=(80, 3))])
+        model = KMeans(n_clusters=2, n_init=2, random_state=0).fit(X)
+        expected = pairwise_squared_euclidean(X, model.cluster_centers_).argmin(axis=1)
+        np.testing.assert_array_equal(model.labels_, expected)
