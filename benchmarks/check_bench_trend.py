@@ -1,0 +1,116 @@
+"""Guard the inference-throughput trend across PRs.
+
+Compares a fresh ``BENCH_inference.json`` (a file passed via ``--fresh``, or
+measured on the spot when omitted) against the committed baseline at the
+repository root and exits non-zero when any shared entry regressed by more
+than ``--threshold`` (default 20%) in ``samples_per_sec``, or when a
+previously benchmarked model disappeared.  New entries are informational.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench_trend.py            # measure now
+    PYTHONPATH=src python benchmarks/check_bench_trend.py --fresh new.json
+    PYTHONPATH=src python benchmarks/check_bench_trend.py --threshold 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_BASELINE = BENCH_DIR.parent / "BENCH_inference.json"
+
+
+def compare_bench(
+    baseline: dict, fresh: dict, *, threshold: float = 0.20
+) -> tuple[list[dict], list[str]]:
+    """Compare two benchmark payloads.
+
+    Returns ``(regressions, notes)``: one regression record per entry whose
+    throughput dropped by more than ``threshold`` (fractional) or that is
+    missing from ``fresh``, and human-readable notes about new entries.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be a fraction in (0, 1)")
+    baseline_results = baseline.get("results", {})
+    fresh_results = fresh.get("results", {})
+    regressions: list[dict] = []
+    notes: list[str] = []
+    for name in sorted(baseline_results):
+        base_rate = float(baseline_results[name]["samples_per_sec"])
+        if name not in fresh_results:
+            regressions.append(
+                {"name": name, "baseline": base_rate, "fresh": None, "change": None}
+            )
+            continue
+        fresh_rate = float(fresh_results[name]["samples_per_sec"])
+        change = (fresh_rate - base_rate) / base_rate if base_rate > 0 else 0.0
+        if change < -threshold:
+            regressions.append(
+                {"name": name, "baseline": base_rate, "fresh": fresh_rate, "change": change}
+            )
+    for name in sorted(set(fresh_results) - set(baseline_results)):
+        notes.append(f"new benchmark entry (no baseline): {name}")
+    return regressions, notes
+
+
+def _measure_fresh() -> dict:
+    # run_inference_bench lives next to this script; the benchmarks directory
+    # is not a package, so import it by path.
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import run_inference_bench
+    finally:
+        sys.path.pop(0)
+    return run_inference_bench.run_bench()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed benchmark payload (default: repo BENCH_inference.json)",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, default=None,
+        help="freshly measured payload; measured in-process when omitted",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="fractional throughput drop treated as a regression (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    if args.fresh is not None:
+        fresh = json.loads(args.fresh.read_text())
+    else:
+        print("no --fresh payload given; measuring throughput now ...", flush=True)
+        fresh = _measure_fresh()
+
+    regressions, notes = compare_bench(baseline, fresh, threshold=args.threshold)
+    for note in notes:
+        print(note)
+    if not regressions:
+        print(
+            f"throughput trend OK: no entry regressed more than "
+            f"{args.threshold:.0%} vs {args.baseline}"
+        )
+        return 0
+    print(f"throughput regressions (> {args.threshold:.0%} drop):")
+    for entry in regressions:
+        if entry["fresh"] is None:
+            print(f"  {entry['name']}: missing from fresh results")
+        else:
+            print(
+                f"  {entry['name']}: {entry['baseline']:,.0f} -> {entry['fresh']:,.0f} "
+                f"samples/s ({entry['change']:+.1%})"
+            )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""Serve fitted detectors over a drifting IIoT flow stream.
+
+The deployment story of the paper, end to end:
+
+1. fit an isolation forest and a kNN detector on clean normal traffic and
+   fuse them (conflict-aware PCR-style score fusion) into one served model,
+2. publish the fused model to an on-disk **model registry** (versioned,
+   pickle-free snapshots) and load it back — the scores survive the round
+   trip bit for bit,
+3. run a **DetectionService** over a drifting ``FlowStream``: micro-batched
+   scoring with bounded memory, a rolling alert threshold, structured alert
+   events, and a **drift monitor** that notices the injected covariate shift
+   and hot-swaps the registry model when it fires.
+
+Run with::
+
+    python examples/serve_iiot_stream.py [--dataset wustl_iiot] [--scale 0.002]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.datasets.streaming import FlowStream
+from repro.novelty import IsolationForest, KNNDetector
+from repro.serve import (
+    DetectionService,
+    DriftEvent,
+    DriftMonitor,
+    FusionDetector,
+    ListSink,
+    ModelRegistry,
+    make_registry_reload,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="wustl_iiot")
+    parser.add_argument("--scale", type=float, default=0.002)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--drift-strength", type=float, default=2.5)
+    parser.add_argument("--registry", default=None,
+                        help="registry directory (default: a temporary directory)")
+    parser.add_argument("--seed", type=int, default=0)
+    # accepted for interface parity with the other examples' smoke tests
+    parser.add_argument("--experiences", type=int, default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--epochs", type=int, default=None, help=argparse.SUPPRESS)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    normal = dataset.normal_data()
+    print(
+        f"{dataset.name}: {dataset.n_samples} flows "
+        f"({normal.shape[0]} clean-normal for fitting)"
+    )
+
+    # 1. Fit two heterogeneous detectors and fuse their normalized scores.
+    fused = FusionDetector(
+        [
+            IsolationForest(n_estimators=50, random_state=args.seed),
+            KNNDetector(n_neighbors=10, random_state=args.seed),
+        ],
+        combine="pcr",
+    ).fit(normal)
+
+    # 2. Publish to a registry and serve the *loaded* snapshot.
+    registry_dir = args.registry or tempfile.mkdtemp(prefix="repro-registry-")
+    registry = ModelRegistry(registry_dir)
+    info = registry.publish(
+        fused, f"fusion-{dataset.name}", metadata={"dataset": dataset.name}
+    )
+    served = registry.load(info.name)
+    check = dataset.X[:256]
+    assert np.array_equal(served.score_samples(check), fused.score_samples(check))
+    print(f"published + reloaded {info.name} v{info.version} (scores bit-identical)")
+
+    # 3. Serve a drifting stream with rolling thresholds and drift reloads.
+    # No explicit reference: the monitor calibrates itself on the first
+    # min_samples streamed flows (normal operating traffic, baseline attack
+    # level included) and flags when the stream later departs from that.
+    monitor = DriftMonitor(window=1024, threshold=0.5, min_samples=512)
+    sink = ListSink()
+    service = DetectionService(
+        served,
+        threshold="rolling",
+        rolling_quantile=0.95,
+        drift_monitor=monitor,
+        sinks=[sink],
+        on_drift=make_registry_reload(registry, info.name),
+    )
+    stream = FlowStream(
+        dataset,
+        batch_size=args.batch_size,
+        drift_strength=args.drift_strength,
+        random_state=args.seed,
+    )
+    print(
+        f"\nserving {stream.n_batches} batches of {args.batch_size} flows "
+        f"(drift strength {args.drift_strength}) ...\n"
+    )
+    report = service.run(stream)
+    print(report.summary())
+
+    drift_events = [event for event in sink.events if isinstance(event, DriftEvent)]
+    for event in drift_events:
+        print(
+            f"  drift @ batch {event.batch_index}: score shift "
+            f"{event.report.score_shift:.2f}σ, feature shift "
+            f"{event.report.feature_shift:.2f}σ -> reloaded {info.name} from registry"
+        )
+    alert_rate = report.n_alerts / max(report.n_samples, 1)
+    print(f"\nalert rate: {alert_rate:.1%} of flows (rolling 95% threshold)")
+    print(f"registry at {registry_dir}: {registry.models()}")
+
+
+if __name__ == "__main__":
+    main()

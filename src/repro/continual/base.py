@@ -9,6 +9,8 @@ experience with the *unlabeled* training split, and :meth:`predict` /
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 __all__ = ["ContinualMethod"]
@@ -57,3 +59,22 @@ class ContinualMethod:
     def name(self) -> str:
         """Human-readable method name used in experiment reports."""
         return type(self).__name__
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: str | Path, *, metadata: dict | None = None) -> Path:
+        """Checkpoint the full method state (model, scaler, pools) to ``path``.
+
+        The checkpoint is a pickle-free snapshot (see
+        :mod:`repro.serve.snapshot`); a loaded method scores identically and
+        can continue training with :meth:`fit_experience`.
+        """
+        from repro.serve.snapshot import save_snapshot
+
+        return save_snapshot(self, path, metadata=metadata)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ContinualMethod":
+        """Load a checkpoint previously written by :meth:`save`."""
+        from repro.serve.snapshot import load_snapshot
+
+        return load_snapshot(path, expected_class=cls)

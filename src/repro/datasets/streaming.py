@@ -133,6 +133,26 @@ class FlowStream:
         """Number of batches the stream will emit."""
         return int(np.ceil(self.dataset.n_samples / self.batch_size))
 
+    @property
+    def X(self) -> np.ndarray:
+        """The full stream feature matrix in emission order (drift applied).
+
+        Lets a consumer (tests, the serving layer's equivalence checks)
+        compare streamed, batch-wise scoring against one-shot scoring of the
+        exact same data.
+        """
+        return self._X
+
+    @property
+    def y(self) -> np.ndarray:
+        """Per-sample binary labels aligned with :attr:`X`."""
+        return self._y
+
+    @property
+    def n_features(self) -> int:
+        """Feature width of every emitted batch."""
+        return int(self._X.shape[1])
+
     def __len__(self) -> int:
         return self.n_batches
 

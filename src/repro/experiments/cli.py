@@ -1,18 +1,25 @@
-"""Command-line interface regenerating the paper's tables and figures.
+"""Command-line interface: the paper's tables/figures plus the serving layer.
 
 Usage::
 
     python -m repro.experiments.cli table1
     python -m repro.experiments.cli fig3 --profile quick
     python -m repro.experiments.cli all --profile paper --output results/
+    python -m repro.experiments.cli serve --dataset wustl_iiot --detector iforest
+    python -m repro.experiments.cli registry list --registry ./models
 
 Each experiment prints its formatted table; ``--output`` additionally writes
-one text file per experiment.
+one text file per experiment.  The ``serve`` and ``registry`` subcommands are
+handled by :mod:`repro.serve.cli` (fit or load a detector, stream a drifted
+:class:`~repro.datasets.streaming.FlowStream` through a
+:class:`~repro.serve.service.DetectionService`, manage model snapshots); the
+``repro`` console script maps to this entry point.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 from typing import Callable
 
@@ -84,6 +91,13 @@ def _parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in ("serve", "registry"):
+        # The serving subsystem owns its own argument surface; importing it
+        # lazily keeps the experiment-only path light.
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv)
     args = _parser().parse_args(argv)
     config = build_config(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -23,6 +23,9 @@ __all__ = [
 class Linear(Module):
     """Fully connected layer ``y = x W + b``."""
 
+    #: forward-pass cache, rebuilt on the next forward; skipped by snapshots.
+    _snapshot_transient_ = ("_input",)
+
     def __init__(
         self,
         in_features: int,
@@ -71,6 +74,8 @@ class Linear(Module):
 class ReLU(Module):
     """Rectified linear unit."""
 
+    _snapshot_transient_ = ("_mask",)
+
     def __init__(self) -> None:
         super().__init__()
         self._mask: np.ndarray | None = None
@@ -87,6 +92,8 @@ class ReLU(Module):
 
 class LeakyReLU(Module):
     """Leaky ReLU with configurable negative slope."""
+
+    _snapshot_transient_ = ("_mask",)
 
     def __init__(self, negative_slope: float = 0.01) -> None:
         super().__init__()
@@ -108,6 +115,8 @@ class LeakyReLU(Module):
 class Tanh(Module):
     """Hyperbolic tangent activation."""
 
+    _snapshot_transient_ = ("_output",)
+
     def __init__(self) -> None:
         super().__init__()
         self._output: np.ndarray | None = None
@@ -125,6 +134,8 @@ class Tanh(Module):
 class Sigmoid(Module):
     """Logistic sigmoid activation."""
 
+    _snapshot_transient_ = ("_output",)
+
     def __init__(self) -> None:
         super().__init__()
         self._output: np.ndarray | None = None
@@ -141,6 +152,8 @@ class Sigmoid(Module):
 
 class Dropout(Module):
     """Inverted dropout; identity in evaluation mode."""
+
+    _snapshot_transient_ = ("_mask",)
 
     def __init__(
         self, p: float = 0.5, random_state: int | np.random.Generator | None = None
@@ -172,6 +185,8 @@ class BatchNorm1d(Module):
     In training mode the batch mean/variance are used and running statistics
     are updated; in evaluation mode the running statistics are used.
     """
+
+    _snapshot_transient_ = ("_cache",)
 
     def __init__(self, num_features: int, *, momentum: float = 0.1, eps: float = 1e-5) -> None:
         super().__init__()

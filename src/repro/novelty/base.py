@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.metrics.thresholds import quantile_threshold
@@ -55,3 +57,21 @@ class NoveltyDetector:
     def fit_predict(self, X: np.ndarray) -> np.ndarray:
         """Fit on ``X`` and return predictions for the same samples."""
         return self.fit(X).predict(X)
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: str | Path, *, metadata: dict | None = None) -> Path:
+        """Write a pickle-free snapshot of this fitted detector to ``path``.
+
+        See :mod:`repro.serve.snapshot` for the on-disk format.  The loaded
+        detector reproduces :meth:`score_samples` bit for bit.
+        """
+        from repro.serve.snapshot import save_snapshot
+
+        return save_snapshot(self, path, metadata=metadata)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "NoveltyDetector":
+        """Load a snapshot previously written by :meth:`save`."""
+        from repro.serve.snapshot import load_snapshot
+
+        return load_snapshot(path, expected_class=cls)

@@ -33,6 +33,12 @@ class DeepIsolationForest(NoveltyDetector):
         Output dimensionality of each random network.
     hidden_dims:
         Hidden-layer widths of the random networks.
+    block_size:
+        Scoring maps at most this many rows through the random networks at a
+        time, so peak extra memory is O(``block_size`` x max layer width)
+        floats instead of materialising every representation for the whole
+        query batch — the same bound the blockwise neighbour kernels give
+        kNN/LOF.
     """
 
     def __init__(
@@ -43,17 +49,21 @@ class DeepIsolationForest(NoveltyDetector):
         representation_dim: int = 20,
         hidden_dims: tuple[int, ...] = (64,),
         max_samples: int = 256,
+        block_size: int = 4096,
         threshold_quantile: float = 0.95,
         random_state: int | np.random.Generator | None = 0,
     ) -> None:
         super().__init__(threshold_quantile=threshold_quantile)
         if n_representations < 1 or n_estimators_per_representation < 1:
             raise ValueError("ensemble sizes must be at least 1")
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1")
         self.n_representations = n_representations
         self.n_estimators_per_representation = n_estimators_per_representation
         self.representation_dim = representation_dim
         self.hidden_dims = tuple(hidden_dims)
         self.max_samples = max_samples
+        self.block_size = block_size
         self.random_state = random_state
         self.networks_: list[MLP] | None = None
         self.forests_: list[IsolationForest] | None = None
@@ -70,7 +80,7 @@ class DeepIsolationForest(NoveltyDetector):
                 random_state=rng,
             )
             net.eval()
-            representation = net(X)
+            representation = self._encode_blocks(net, X)
             forest = IsolationForest(
                 n_estimators=self.n_estimators_per_representation,
                 max_samples=self.max_samples,
@@ -83,12 +93,33 @@ class DeepIsolationForest(NoveltyDetector):
         self._set_default_threshold(self.score_samples(X))
         return self
 
+    def _encode_blocks(self, net: MLP, X: np.ndarray) -> np.ndarray:
+        """Map ``X`` through ``net`` in blocks of ``block_size`` rows.
+
+        Only the (n, representation_dim) output is materialised for the full
+        input; the wider hidden activations exist for one block at a time.
+        """
+        n = X.shape[0]
+        out = np.empty((n, self.representation_dim))
+        for start in range(0, n, self.block_size):
+            stop = min(start + self.block_size, n)
+            out[start:stop] = net(X[start:stop])
+        return out
+
     def score_samples(self, X: np.ndarray) -> np.ndarray:
         check_fitted(self, "networks_")
         X = check_array(X, name="X", allow_empty=True)
-        if X.shape[0] == 0:
+        n = X.shape[0]
+        if n == 0:
             return np.empty(0)
-        scores = np.zeros(X.shape[0])
-        for net, forest in zip(self.networks_, self.forests_):
-            scores += forest.score_samples(net(X))
+        # Blockwise representation maps: every network's forward pass (and
+        # its layer activation caches) only ever holds block_size rows, so
+        # peak memory is bounded regardless of the query size.  Rows are
+        # scored independently, so the result matches the one-shot pass.
+        scores = np.zeros(n)
+        for start in range(0, n, self.block_size):
+            stop = min(start + self.block_size, n)
+            block = X[start:stop]
+            for net, forest in zip(self.networks_, self.forests_):
+                scores[start:stop] += forest.score_samples(net(block))
         return scores / len(self.networks_)

@@ -15,7 +15,7 @@ import numpy as np
 from repro.ml.flat_tree import FlatForest, flatten_tree
 from repro.novelty.base import NoveltyDetector
 from repro.utils.random import check_random_state
-from repro.utils.validation import check_array, check_fitted
+from repro.utils.validation import check_array, check_fitted, check_n_features
 
 __all__ = ["IsolationForest", "average_path_length"]
 
@@ -101,6 +101,10 @@ class IsolationForest(NoveltyDetector):
         Subsample size per tree (``psi``); capped at the training-set size.
     """
 
+    # The linked per-tree nodes only back the retained naive reference; the
+    # compiled flat forest is the deployable state, so snapshots skip them.
+    _snapshot_transient_ = ("trees_",)
+
     def __init__(
         self,
         n_estimators: int = 100,
@@ -118,9 +122,11 @@ class IsolationForest(NoveltyDetector):
         self.trees_: list[_Node] | None = None
         self.forest_: FlatForest | None = None
         self.subsample_size_: int | None = None
+        self.n_features_: int | None = None
 
     def fit(self, X: np.ndarray) -> "IsolationForest":
         X = check_array(X, name="X")
+        self.n_features_ = X.shape[1]
         rng = check_random_state(self.random_state)
         psi = min(self.max_samples, X.shape[0])
         max_depth = int(np.ceil(np.log2(max(psi, 2))))
@@ -139,8 +145,11 @@ class IsolationForest(NoveltyDetector):
         return self
 
     def score_samples(self, X: np.ndarray) -> np.ndarray:
-        check_fitted(self, "trees_")
+        # Snapshots restore only the compiled forest (``trees_`` is a naive
+        # reference cache), so fittedness is judged on ``forest_``.
+        check_fitted(self, "forest_")
         X = check_array(X, name="X", allow_empty=True)
+        check_n_features(X, self.n_features_, fitted_with="forest was fitted")
         if X.shape[0] == 0:
             return np.empty(0)
         mean_depth = self.forest_.sum_values(X)[:, 0] / self.forest_.n_trees

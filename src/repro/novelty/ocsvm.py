@@ -37,6 +37,12 @@ class OneClassSVM(NoveltyDetector):
         Number of random Fourier features used for the kernel approximation.
     n_epochs, learning_rate, batch_size:
         Subgradient-descent schedule for the linear primal problem.
+    block_size:
+        Scoring (and the per-minibatch training transforms) materialise the
+        random-feature map for at most this many rows at a time, so peak
+        extra memory is O(``block_size`` x ``n_features_rff``) floats instead
+        of the full n_samples x ``n_features_rff`` matrix — the same bound
+        the blockwise neighbour kernels give kNN/LOF.
     """
 
     def __init__(
@@ -48,6 +54,7 @@ class OneClassSVM(NoveltyDetector):
         n_epochs: int = 30,
         learning_rate: float = 0.01,
         batch_size: int = 128,
+        block_size: int = 4096,
         threshold_quantile: float = 0.95,
         random_state: int | np.random.Generator | None = 0,
     ) -> None:
@@ -60,12 +67,15 @@ class OneClassSVM(NoveltyDetector):
             raise ValueError("gamma must be positive")
         if n_features_rff < 1:
             raise ValueError("n_features_rff must be at least 1")
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1")
         self.nu = nu
         self.gamma = gamma
         self.n_features_rff = n_features_rff
         self.n_epochs = n_epochs
         self.learning_rate = learning_rate
         self.batch_size = batch_size
+        self.block_size = block_size
         self.random_state = random_state
         self.weights_: np.ndarray | None = None
         self.rho_: float | None = None
@@ -97,16 +107,17 @@ class OneClassSVM(NoveltyDetector):
         X = check_array(X, name="X")
         rng = check_random_state(self.random_state)
         self._init_rff(X, rng)
-        Z = self._transform(X)
-        n, d = Z.shape
+        n = X.shape[0]
 
-        w = np.zeros(d)
+        w = np.zeros(self.n_features_rff)
         rho = 0.0
         lr = self.learning_rate
         for epoch in range(self.n_epochs):
             order = rng.permutation(n)
             for start in range(0, n, self.batch_size):
-                batch = Z[order[start : start + self.batch_size]]
+                # Map only the minibatch rows: peak feature-map memory is
+                # O(batch_size x n_features_rff) instead of the full matrix.
+                batch = self._transform(X[order[start : start + self.batch_size]])
                 margins = rho - batch @ w
                 violating = margins > 0.0
                 frac = violating.mean() if batch.shape[0] else 0.0
@@ -127,7 +138,14 @@ class OneClassSVM(NoveltyDetector):
     def score_samples(self, X: np.ndarray) -> np.ndarray:
         check_fitted(self, "weights_")
         X = check_array(X, name="X", allow_empty=True)
-        if X.shape[0] == 0:
+        n = X.shape[0]
+        if n == 0:
             return np.empty(0)
-        Z = self._transform(X)
-        return self.rho_ - Z @ self.weights_
+        # Blockwise feature map: rows are independent, so mapping and scoring
+        # block_size rows at a time bounds peak memory without changing the
+        # result.
+        scores = np.empty(n)
+        for start in range(0, n, self.block_size):
+            stop = min(start + self.block_size, n)
+            scores[start:stop] = self.rho_ - self._transform(X[start:stop]) @ self.weights_
+        return scores

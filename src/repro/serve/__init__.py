@@ -1,0 +1,64 @@
+"""Online serving subsystem: snapshots, registry, streaming detection service.
+
+The experiment layer fits and scores inside one process; this package turns a
+fitted detector into something that can be *deployed*:
+
+* :mod:`repro.serve.snapshot` — pickle-free ``save(path)`` / ``load(path)``
+  persistence for every detector, tree ensemble and continual method
+  (versioned JSON manifest + one ``.npz`` of arrays),
+* :mod:`repro.serve.registry` — a directory-backed model registry with
+  named, versioned snapshots and ``latest`` / pinned resolution,
+* :mod:`repro.serve.service` — :class:`DetectionService`, a long-lived
+  consumer of :class:`~repro.datasets.streaming.FlowStream` (or any batch
+  iterator) with micro-batched bounded-memory scoring, rolling thresholds,
+  structured alerts and throughput counters,
+* :mod:`repro.serve.drift` — rolling score/feature statistics that flag
+  distribution shift and can trigger a refit-from-registry,
+* :mod:`repro.serve.fusion` — score-level fusion of several detectors
+  (mean / max / conflict-aware PCR-style weighting) served as one model,
+* :mod:`repro.serve.sinks` — pluggable alert sinks (in-memory, JSONL,
+  callback).
+"""
+
+from repro.serve.drift import DriftMonitor, DriftReport
+from repro.serve.fusion import FusionDetector
+from repro.serve.registry import ModelRegistry, SnapshotInfo
+from repro.serve.service import (
+    Alert,
+    BatchResult,
+    DetectionService,
+    DriftEvent,
+    ServiceReport,
+    make_registry_reload,
+)
+from repro.serve.sinks import AlertSink, CallbackSink, JsonlSink, ListSink
+from repro.serve.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    load_snapshot,
+    read_manifest,
+    save_snapshot,
+)
+
+__all__ = [
+    "Alert",
+    "AlertSink",
+    "BatchResult",
+    "CallbackSink",
+    "DetectionService",
+    "DriftEvent",
+    "DriftMonitor",
+    "DriftReport",
+    "FusionDetector",
+    "JsonlSink",
+    "ListSink",
+    "ModelRegistry",
+    "ServiceReport",
+    "SnapshotError",
+    "SnapshotInfo",
+    "SNAPSHOT_FORMAT_VERSION",
+    "load_snapshot",
+    "make_registry_reload",
+    "read_manifest",
+    "save_snapshot",
+]

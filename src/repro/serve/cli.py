@@ -1,0 +1,236 @@
+"""CLI for the serving subsystem: ``repro serve ...`` and ``repro registry ...``.
+
+Usage examples::
+
+    # fit a detector on the clean traffic of a synthetic dataset and serve a
+    # drifted stream built from the same dataset
+    repro serve --dataset wustl_iiot --scale 0.002 --detector iforest \
+        --drift-strength 2.0 --threshold rolling
+
+    # publish the fitted model and serve from the registry afterwards
+    repro serve --dataset wustl_iiot --detector knn --registry ./models --publish
+    repro serve --dataset wustl_iiot --registry ./models --model knn-wustl_iiot
+
+    # inspect / pin registry contents
+    repro registry list --registry ./models
+    repro registry pin knn-wustl_iiot 1 --registry ./models
+
+(``repro`` is the console script registered in ``pyproject.toml``; the same
+commands work as ``python -m repro.experiments.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.registry import load_dataset
+from repro.datasets.streaming import FlowStream
+from repro.novelty import (
+    HBOS,
+    LODA,
+    IsolationForest,
+    KNNDetector,
+    LocalOutlierFactor,
+    MahalanobisDetector,
+    OneClassSVM,
+    PCAReconstructionDetector,
+)
+from repro.serve.drift import DriftMonitor
+from repro.serve.fusion import FusionDetector
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import DetectionService, make_registry_reload
+from repro.serve.sinks import JsonlSink
+
+__all__ = ["main", "DETECTOR_FACTORIES"]
+
+#: Detector id -> zero-argument factory with serving-friendly defaults.
+DETECTOR_FACTORIES = {
+    "iforest": lambda: IsolationForest(n_estimators=100, random_state=0),
+    "knn": lambda: KNNDetector(n_neighbors=10, random_state=0),
+    "lof": lambda: LocalOutlierFactor(n_neighbors=20, random_state=0),
+    "pca": lambda: PCAReconstructionDetector(n_components=0.95),
+    "hbos": lambda: HBOS(n_bins=20),
+    "loda": lambda: LODA(n_projections=50, random_state=0),
+    "mahalanobis": lambda: MahalanobisDetector(),
+    "ocsvm": lambda: OneClassSVM(n_epochs=10, random_state=0),
+    "fusion": lambda: FusionDetector(
+        [
+            IsolationForest(n_estimators=100, random_state=0),
+            KNNDetector(n_neighbors=10, random_state=0),
+            HBOS(n_bins=20),
+        ],
+        combine="pcr",
+    ),
+}
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Online serving for fitted intrusion detectors."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="serve a detector over a flow stream")
+    serve.add_argument("--dataset", default="wustl_iiot", help="synthetic dataset name")
+    serve.add_argument("--scale", type=float, default=0.002, help="dataset scale")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--detector", choices=sorted(DETECTOR_FACTORIES), default="iforest",
+        help="detector to fit when not loading from a registry",
+    )
+    serve.add_argument("--batch-size", type=int, default=256, help="stream batch size")
+    serve.add_argument(
+        "--micro-batch-size", type=int, default=1024,
+        help="upper bound on rows per scoring call (bounds peak memory)",
+    )
+    serve.add_argument(
+        "--drift-strength", type=float, default=2.0,
+        help="covariate drift injected over the stream (0 disables)",
+    )
+    serve.add_argument(
+        "--threshold", default="auto",
+        help="'auto' (detector default), 'rolling', or a fixed float",
+    )
+    serve.add_argument("--rolling-quantile", type=float, default=0.95)
+    serve.add_argument(
+        "--registry", type=Path, default=None, help="model registry directory"
+    )
+    serve.add_argument(
+        "--model", default=None,
+        help="registry model to serve, as NAME, NAME@latest, NAME@pinned or NAME@vN",
+    )
+    serve.add_argument(
+        "--publish", action="store_true",
+        help="publish the fitted detector to the registry before serving",
+    )
+    serve.add_argument(
+        "--reload-on-drift", action="store_true",
+        help="reload the registry model when the drift monitor fires",
+    )
+    serve.add_argument(
+        "--alerts", type=Path, default=None, help="write alerts/drift events as JSONL"
+    )
+
+    registry = sub.add_parser("registry", help="inspect or pin registry contents")
+    registry.add_argument("action", choices=["list", "show", "pin", "unpin"])
+    registry.add_argument("name", nargs="?", default=None)
+    registry.add_argument("version", nargs="?", default=None)
+    registry.add_argument("--registry", type=Path, required=True)
+    return parser
+
+
+def _split_model_selector(selector: str) -> tuple[str, str | None]:
+    name, _, version = selector.partition("@")
+    return name, (version or None)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    normal = dataset.normal_data()
+    registry = ModelRegistry(args.registry) if args.registry is not None else None
+
+    reload_selector: tuple[str, str | None] | None = None
+    if args.model is not None:
+        if registry is None:
+            raise SystemExit("--model requires --registry")
+        name, version = _split_model_selector(args.model)
+        detector = registry.load(name, version)
+        reload_selector = (name, version)
+        print(f"serving {name}@{version or 'default'} from {registry.root}")
+    else:
+        detector = DETECTOR_FACTORIES[args.detector]()
+        detector.fit(normal)
+        print(f"fitted {type(detector).__name__} on {normal.shape[0]} clean flows")
+        if registry is not None and args.publish:
+            info = registry.publish(
+                detector,
+                f"{args.detector}-{dataset.name}",
+                metadata={"dataset": dataset.name, "scale": args.scale},
+            )
+            reload_selector = (info.name, None)
+            print(f"published {info.name} v{info.version} to {registry.root}")
+
+    try:
+        threshold: float | str = float(args.threshold)
+    except ValueError:
+        threshold = args.threshold
+
+    monitor = DriftMonitor()
+    monitor.set_reference(detector.score_samples(normal), normal)
+
+    on_drift = None
+    if args.reload_on_drift:
+        if registry is None or reload_selector is None:
+            raise SystemExit(
+                "--reload-on-drift requires --registry plus either --model or --publish"
+            )
+        name, version = reload_selector
+        on_drift = make_registry_reload(registry, name, version=version)
+
+    sinks = [JsonlSink(args.alerts)] if args.alerts is not None else []
+    service = DetectionService(
+        detector,
+        threshold=threshold,
+        rolling_quantile=args.rolling_quantile,
+        micro_batch_size=args.micro_batch_size,
+        drift_monitor=monitor,
+        sinks=sinks,
+        on_drift=on_drift,
+    )
+    stream = FlowStream(
+        dataset,
+        batch_size=args.batch_size,
+        drift_strength=args.drift_strength,
+        random_state=args.seed,
+    )
+    report = service.run(stream)
+    print(report.summary())
+    if args.alerts is not None:
+        print(f"events written to {args.alerts}")
+    return 0
+
+
+def _run_registry(args: argparse.Namespace) -> int:
+    registry = ModelRegistry(args.registry)
+    if args.action == "list":
+        for name in registry.models():
+            versions = registry.versions(name)
+            pinned = registry.pinned_version(name)
+            pin_note = f", pinned v{pinned}" if pinned is not None else ""
+            print(f"{name}: v{versions[0]}..v{versions[-1]}{pin_note}")
+        return 0
+    if args.name is None:
+        raise SystemExit(f"registry {args.action} requires a model name")
+    if args.action == "show":
+        info = registry.resolve(args.name, args.version)
+        manifest = info.manifest
+        print(f"{info.name} v{info.version} at {info.path}")
+        print(f"class: {manifest['class']}")
+        print(f"created: {manifest['created_at']}")
+        if manifest.get("metadata"):
+            print(f"metadata: {manifest['metadata']}")
+        return 0
+    if args.action == "pin":
+        if args.version is None:
+            raise SystemExit("registry pin requires a version")
+        info = registry.pin(args.name, args.version)
+        print(f"pinned {info.name} to v{info.version}")
+        return 0
+    registry.unpin(args.name)
+    print(f"unpinned {args.name}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _parser().parse_args(argv)
+    if args.command == "serve":
+        return _run_serve(args)
+    return _run_registry(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

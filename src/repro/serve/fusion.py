@@ -1,0 +1,139 @@
+"""Score-level fusion of heterogeneous novelty detectors.
+
+Different detector families produce scores on wildly different scales (an
+isolation forest emits values near [0.4, 0.8], a kNN detector raw distances,
+PCA a squared reconstruction error), so raw averaging is meaningless.
+:class:`FusionDetector` standardises every member's scores against its own
+training-score distribution and combines the standardised scores with one of
+three rules:
+
+* ``"mean"`` — the balanced committee vote;
+* ``"max"`` — flag when *any* member is confident (highest recall);
+* ``"pcr"`` — conflict-aware weighting in the spirit of the proportional
+  conflict redistribution (PCR) rules of Smarandache & Dezert: per sample,
+  each member's weight shrinks with its disagreement from the committee
+  consensus, and the mass it loses is redistributed proportionally among the
+  agreeing members (the renormalisation step).  A single detector that
+  mis-fires on a sample is damped instead of dragging the fused score.
+
+The fused model is itself a :class:`~repro.novelty.NoveltyDetector`: it has a
+training-quantile default threshold, works with ``predict``, serves through
+:class:`~repro.serve.service.DetectionService`, and snapshots/loads like any
+single detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.novelty.base import NoveltyDetector
+from repro.utils.validation import check_array, check_fitted, check_n_features
+
+__all__ = ["FusionDetector"]
+
+_COMBINE_RULES = ("mean", "max", "pcr")
+
+
+class FusionDetector(NoveltyDetector):
+    """Serve an ensemble of detectors as one model via normalized-score fusion.
+
+    Parameters
+    ----------
+    detectors:
+        Member detectors (fitted or not — :meth:`fit` fits every member).
+    combine:
+        ``"mean"``, ``"max"`` or ``"pcr"`` (see module docstring).
+    refit_members:
+        When ``False``, :meth:`fit` assumes the members are already fitted
+        and only calibrates the per-member score normalisation (useful when
+        members come out of a model registry).
+    """
+
+    def __init__(
+        self,
+        detectors: list[NoveltyDetector] | tuple[NoveltyDetector, ...],
+        *,
+        combine: str = "pcr",
+        refit_members: bool = True,
+        threshold_quantile: float = 0.95,
+    ) -> None:
+        super().__init__(threshold_quantile=threshold_quantile)
+        detectors = list(detectors)
+        if len(detectors) < 2:
+            raise ValueError("fusion requires at least 2 detectors")
+        if combine not in _COMBINE_RULES:
+            raise ValueError(f"combine must be one of {_COMBINE_RULES}")
+        self.detectors = detectors
+        self.combine = combine
+        self.refit_members = refit_members
+        self.loc_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+        self.n_features_: int | None = None
+
+    # -- fitting -----------------------------------------------------------------
+    def fit(self, X: np.ndarray) -> "FusionDetector":
+        X = check_array(X, name="X")
+        if self.refit_members:
+            for detector in self.detectors:
+                detector.fit(X)
+        self._calibrate(X)
+        return self
+
+    def calibrate(self, X: np.ndarray) -> "FusionDetector":
+        """Recalibrate score normalisation (and the default threshold) on ``X``.
+
+        Use after loading pre-fitted members (``refit_members=False``) or when
+        the reference traffic has drifted but the members are still valid.
+        """
+        X = check_array(X, name="X")
+        self._calibrate(X)
+        return self
+
+    def _calibrate(self, X: np.ndarray) -> None:
+        reference = np.column_stack(
+            [detector.score_samples(X) for detector in self.detectors]
+        )
+        self.loc_ = reference.mean(axis=0)
+        scale = reference.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        self.n_features_ = X.shape[1]
+        self._set_default_threshold(self._fuse((reference - self.loc_) / self.scale_))
+
+    # -- scoring -----------------------------------------------------------------
+    def _fuse(self, standardized: np.ndarray) -> np.ndarray:
+        if self.combine == "mean":
+            return standardized.mean(axis=1)
+        if self.combine == "max":
+            return standardized.max(axis=1)
+        # PCR-style conflict-aware weighting: the conflict of member i on a
+        # sample is its absolute deviation from the committee consensus; its
+        # weight 1 / (1 + conflict) decays with conflict and the lost mass is
+        # proportionally redistributed by the normalisation.
+        consensus = standardized.mean(axis=1, keepdims=True)
+        conflict = np.abs(standardized - consensus)
+        weights = 1.0 / (1.0 + conflict)
+        weights /= weights.sum(axis=1, keepdims=True)
+        return (weights * standardized).sum(axis=1)
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "loc_")
+        X = check_array(X, name="X", allow_empty=True)
+        check_n_features(X, self.n_features_, fitted_with="fusion was calibrated")
+        if X.shape[0] == 0:
+            return np.empty(0)
+        raw = np.column_stack(
+            [detector.score_samples(X) for detector in self.detectors]
+        )
+        return self._fuse((raw - self.loc_) / self.scale_)
+
+    def member_scores(self, X: np.ndarray) -> np.ndarray:
+        """``(n_samples, n_detectors)`` standardized per-member scores."""
+        check_fitted(self, "loc_")
+        X = check_array(X, name="X", allow_empty=True)
+        if X.shape[0] == 0:
+            return np.empty((0, len(self.detectors)))
+        raw = np.column_stack(
+            [detector.score_samples(X) for detector in self.detectors]
+        )
+        return (raw - self.loc_) / self.scale_

@@ -1,0 +1,171 @@
+"""Directory-backed model registry: named, versioned snapshots on disk.
+
+Layout::
+
+    <root>/
+        <name>/
+            v1/            # snapshot (manifest.json + arrays.npz)
+            v2/
+            pin.json       # {"version": 1} when a version is pinned
+
+Versions are monotonically increasing integers assigned by :meth:`publish`.
+``resolve``/``load`` accept an explicit version, ``"latest"``, ``"pinned"``,
+or ``None`` (pinned when a pin exists, otherwise latest) — so a deployment can
+follow the newest model by default but be frozen to a known-good version with
+one :meth:`pin` call, without touching the serving code.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.serve.snapshot import load_snapshot, read_manifest, save_snapshot
+
+__all__ = ["ModelRegistry", "SnapshotInfo"]
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_DIR = re.compile(r"^v(\d+)$")
+_PIN_FILE = "pin.json"
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """A resolved registry entry."""
+
+    name: str
+    version: int
+    path: Path
+
+    @property
+    def manifest(self) -> dict[str, Any]:
+        """Parsed snapshot manifest (class, creation time, metadata)."""
+        return read_manifest(self.path)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_PATTERN.match(name):
+        raise ValueError(
+            f"invalid model name {name!r}: use letters, digits, '.', '_' or '-'"
+        )
+    return name
+
+
+class ModelRegistry:
+    """Store and resolve named, versioned model snapshots under one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- queries ---------------------------------------------------------------
+    def models(self) -> list[str]:
+        """Sorted names that have at least one published version.
+
+        Directories that are not valid model names (editor droppings,
+        ``__pycache__``, ...) are skipped rather than treated as corruption.
+        """
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir()
+            and _NAME_PATTERN.match(entry.name)
+            and self.versions(entry.name)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        """Ascending published versions of ``name`` (empty when unknown)."""
+        model_dir = self.root / _check_name(name)
+        if not model_dir.is_dir():
+            return []
+        found = []
+        for entry in model_dir.iterdir():
+            match = _VERSION_DIR.match(entry.name)
+            if match and (entry / "manifest.json").is_file():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self, name: str) -> int:
+        versions = self.versions(name)
+        if not versions:
+            raise KeyError(f"no published versions of model {name!r} in {self.root}")
+        return versions[-1]
+
+    def pinned_version(self, name: str) -> int | None:
+        """The pinned version of ``name``, or ``None`` when nothing is pinned."""
+        pin_path = self.root / _check_name(name) / _PIN_FILE
+        if not pin_path.is_file():
+            return None
+        return int(json.loads(pin_path.read_text())["version"])
+
+    def resolve(self, name: str, version: int | str | None = None) -> SnapshotInfo:
+        """Resolve a version selector to a concrete :class:`SnapshotInfo`.
+
+        ``version`` may be an int, ``"v3"``-style string, ``"latest"``,
+        ``"pinned"``, or ``None`` (pinned when a pin exists, else latest).
+        """
+        name = _check_name(name)
+        if version is None:
+            pinned = self.pinned_version(name)
+            resolved = pinned if pinned is not None else self.latest_version(name)
+        elif version == "latest":
+            resolved = self.latest_version(name)
+        elif version == "pinned":
+            pinned = self.pinned_version(name)
+            if pinned is None:
+                raise KeyError(f"model {name!r} has no pinned version")
+            resolved = pinned
+        else:
+            if isinstance(version, str):
+                match = _VERSION_DIR.match(version)
+                if not match and not version.isdigit():
+                    raise ValueError(f"unrecognised version selector {version!r}")
+                resolved = int(match.group(1)) if match else int(version)
+            else:
+                resolved = int(version)
+        path = self.root / name / f"v{resolved}"
+        if not (path / "manifest.json").is_file():
+            raise KeyError(f"model {name!r} has no version v{resolved} in {self.root}")
+        return SnapshotInfo(name=name, version=resolved, path=path)
+
+    # -- mutation --------------------------------------------------------------
+    def publish(
+        self, model: Any, name: str, *, metadata: dict[str, Any] | None = None
+    ) -> SnapshotInfo:
+        """Save ``model`` as the next version of ``name`` and return its info."""
+        name = _check_name(name)
+        versions = self.versions(name)
+        version = (versions[-1] + 1) if versions else 1
+        path = self.root / name / f"v{version}"
+        save_snapshot(model, path, metadata=metadata)
+        return SnapshotInfo(name=name, version=version, path=path)
+
+    def load(self, name: str, version: int | str | None = None) -> Any:
+        """Load the model behind ``resolve(name, version)``."""
+        return load_snapshot(self.resolve(name, version).path)
+
+    def pin(self, name: str, version: int | str) -> SnapshotInfo:
+        """Pin ``name`` to a published version; ``resolve(name)`` now returns it."""
+        info = self.resolve(name, version)
+        pin_path = self.root / info.name / _PIN_FILE
+        pin_path.write_text(json.dumps({"version": info.version}) + "\n")
+        return info
+
+    def unpin(self, name: str) -> None:
+        """Remove the pin of ``name`` (a no-op when nothing is pinned)."""
+        pin_path = self.root / _check_name(name) / _PIN_FILE
+        if pin_path.is_file():
+            pin_path.unlink()
+
+    def delete_version(self, name: str, version: int | str) -> None:
+        """Delete one published version (refuses to delete a pinned version)."""
+        info = self.resolve(name, version)
+        if self.pinned_version(name) == info.version:
+            raise ValueError(
+                f"model {name!r} is pinned to v{info.version}; unpin before deleting"
+            )
+        shutil.rmtree(info.path)

@@ -1,0 +1,79 @@
+"""Pluggable sinks for the structured events a :class:`DetectionService` emits.
+
+A sink receives every :class:`~repro.serve.service.Alert` and
+:class:`~repro.serve.service.DriftEvent` (anything exposing ``to_dict()``).
+Sinks must be cheap: they run inside the scoring loop.  Implementations here
+cover the three deployment staples — keep events in memory (tests,
+notebooks), append them to a JSONL file (log shippers), or hand them to a
+callback (paging, metrics counters).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Protocol
+
+__all__ = ["AlertSink", "ListSink", "JsonlSink", "CallbackSink"]
+
+
+class AlertSink(Protocol):
+    """Protocol every sink implements."""
+
+    def emit(self, event: Any) -> None:
+        """Receive one event (exposes ``to_dict() -> dict``)."""
+        ...  # pragma: no cover - protocol stub
+
+    def close(self) -> None:
+        """Flush and release resources; called by ``DetectionService.run``."""
+        ...  # pragma: no cover - protocol stub
+
+
+class ListSink:
+    """Collect events in memory (``.events``); ideal for tests and notebooks."""
+
+    def __init__(self) -> None:
+        self.events: list[Any] = []
+
+    def emit(self, event: Any) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink:
+    """Append one JSON object per event to a file (opened lazily)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self.n_written = 0
+
+    def emit(self, event: Any) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self.n_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CallbackSink:
+    """Forward every event to ``fn`` (metrics counters, pagers, queues)."""
+
+    def __init__(self, fn: Callable[[Any], None]) -> None:
+        self.fn = fn
+
+    def emit(self, event: Any) -> None:
+        self.fn(event)
+
+    def close(self) -> None:
+        pass

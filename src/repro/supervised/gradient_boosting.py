@@ -42,6 +42,10 @@ class GradientBoostingClassifier:
         Row-subsampling fraction per round (stochastic gradient boosting).
     """
 
+    # Per-round regression trees only back the retained naive reference; the
+    # compiled flat forest is the deployable state, so snapshots skip them.
+    _snapshot_transient_ = ("trees_",)
+
     def __init__(
         self,
         n_estimators: int = 50,
@@ -65,11 +69,13 @@ class GradientBoostingClassifier:
         self.trees_: list[DecisionTreeRegressor] | None = None
         self.forest_: FlatForest | None = None
         self.initial_log_odds_: float | None = None
+        self.n_features_: int | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
         X = check_array(X, name="X")
         y = check_binary_labels(y).astype(np.float64)
         check_consistent_length(X, y)
+        self.n_features_ = X.shape[1]
         rng = check_random_state(self.random_state)
 
         positive_rate = float(np.clip(y.mean(), 1e-6, 1.0 - 1e-6))
@@ -100,9 +106,11 @@ class GradientBoostingClassifier:
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Raw additive log-odds score before the sigmoid."""
-        check_fitted(self, "trees_")
+        # Snapshots restore only the compiled forest (``trees_`` is a naive
+        # reference cache), so fittedness is judged on ``forest_``.
+        check_fitted(self, "forest_")
         X = check_array(X, name="X", allow_empty=True)
-        check_n_features(X, self.trees_[0].n_features_, fitted_with="model was fitted")
+        check_n_features(X, self.n_features_, fitted_with="model was fitted")
         return (
             self.initial_log_odds_
             + self.learning_rate * self.forest_.sum_values(X)[:, 0]
@@ -125,3 +133,17 @@ class GradientBoostingClassifier:
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Binary class predictions at the 0.5 probability threshold."""
         return (self.decision_function(X) > 0.0).astype(np.int64)
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path, *, metadata: dict | None = None):
+        """Write a pickle-free snapshot (flat-forest arrays + manifest) to ``path``."""
+        from repro.serve.snapshot import save_snapshot
+
+        return save_snapshot(self, path, metadata=metadata)
+
+    @classmethod
+    def load(cls, path) -> "GradientBoostingClassifier":
+        """Load a snapshot previously written by :meth:`save`."""
+        from repro.serve.snapshot import load_snapshot
+
+        return load_snapshot(path, expected_class=cls)

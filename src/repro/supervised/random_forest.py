@@ -30,6 +30,10 @@ class RandomForestClassifier:
         Features considered per split; default ``"sqrt"`` as is conventional.
     """
 
+    # Per-tree classifiers only back the retained naive reference; the
+    # compiled flat forest is the deployable state, so snapshots skip them.
+    _snapshot_transient_ = ("trees_",)
+
     def __init__(
         self,
         n_estimators: int = 50,
@@ -49,11 +53,13 @@ class RandomForestClassifier:
         self.trees_: list[DecisionTreeClassifier] | None = None
         self.forest_: FlatForest | None = None
         self.classes_: np.ndarray | None = None
+        self.n_features_: int | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         X = check_array(X, name="X")
         y = np.asarray(y)
         check_consistent_length(X, y)
+        self.n_features_ = X.shape[1]
         rng = check_random_state(self.random_state)
         self.classes_ = np.unique(y)
         trees: list[DecisionTreeClassifier] = []
@@ -92,12 +98,14 @@ class RandomForestClassifier:
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Average of per-tree class-probability estimates, aligned to ``classes_``."""
-        check_fitted(self, "trees_")
+        # Snapshots restore only the compiled forest (``trees_`` is a naive
+        # reference cache), so fittedness is judged on ``forest_``.
+        check_fitted(self, "forest_")
         X = check_array(X, name="X", allow_empty=True)
-        check_n_features(X, self.trees_[0].n_features_, fitted_with="forest was fitted")
+        check_n_features(X, self.n_features_, fitted_with="forest was fitted")
         if X.shape[0] == 0:
             return np.empty((0, len(self.classes_)))
-        return self.forest_.sum_values(X) / len(self.trees_)
+        return self.forest_.sum_values(X) / self.forest_.n_trees
 
     def _predict_proba_naive(self, X: np.ndarray) -> np.ndarray:
         """Per-tree aggregation reference kept for equivalence tests and benchmarks."""
@@ -113,3 +121,17 @@ class RandomForestClassifier:
         """Majority-vote class prediction."""
         proba = self.predict_proba(X)
         return self.classes_[proba.argmax(axis=1)]
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path, *, metadata: dict | None = None):
+        """Write a pickle-free snapshot (flat-forest arrays + manifest) to ``path``."""
+        from repro.serve.snapshot import save_snapshot
+
+        return save_snapshot(self, path, metadata=metadata)
+
+    @classmethod
+    def load(cls, path) -> "RandomForestClassifier":
+        """Load a snapshot previously written by :meth:`save`."""
+        from repro.serve.snapshot import load_snapshot
+
+        return load_snapshot(path, expected_class=cls)

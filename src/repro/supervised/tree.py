@@ -50,6 +50,11 @@ def _gini(counts: np.ndarray) -> float:
 class _BaseTree:
     """Shared recursive construction for classification and regression trees."""
 
+    # Linked construction nodes only back the retained naive reference, and
+    # the single-tree forest is recompiled lazily from ``flat_``; snapshots
+    # persist the flat arrays alone.
+    _snapshot_transient_ = ("root_", "_forest_")
+
     def __init__(
         self,
         *,
@@ -225,7 +230,9 @@ class _BaseTree:
     # -- prediction ---------------------------------------------------------------
     def _predict_values(self, X: np.ndarray) -> np.ndarray:
         """``(n_samples, value_dim)`` leaf values via flattened batch traversal."""
-        check_fitted(self, "root_")
+        # Snapshots restore only the flat arrays (``root_`` is a naive
+        # reference cache), so fittedness is judged on ``flat_``.
+        check_fitted(self, "flat_")
         X = check_array(X, name="X", allow_empty=True)
         check_n_features(X, self.n_features_, fitted_with="tree was fitted")
         if self._forest_ is None:
@@ -250,6 +257,20 @@ class _BaseTree:
         while not node.is_leaf:
             node = node.left if row[node.feature] <= node.threshold else node.right
         return node.value
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path, *, metadata: dict | None = None):
+        """Write a pickle-free snapshot (flat-tree arrays + manifest) to ``path``."""
+        from repro.serve.snapshot import save_snapshot
+
+        return save_snapshot(self, path, metadata=metadata)
+
+    @classmethod
+    def load(cls, path):
+        """Load a snapshot previously written by :meth:`save`."""
+        from repro.serve.snapshot import load_snapshot
+
+        return load_snapshot(path, expected_class=cls)
 
 
 class DecisionTreeClassifier(_BaseTree):

@@ -93,6 +93,33 @@ class TestOneClassSVM:
         # be in the right ballpark of nu (loose bound; SGD approximation).
         assert flagged < 0.4
 
+    def test_blockwise_scoring_matches_and_bounds_memory(self):
+        import tracemalloc
+
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(300, 4))
+        n_rff = 512
+        reference = OneClassSVM(n_features_rff=n_rff, n_epochs=5, random_state=0).fit(X)
+        X_query = rng.normal(size=(4000, 4))
+        expected = reference.score_samples(X_query)
+
+        blocked = OneClassSVM(
+            n_features_rff=n_rff, n_epochs=5, block_size=64, random_state=0
+        ).fit(X)
+        full_map_bytes = X_query.shape[0] * n_rff * 8
+        tracemalloc.start()
+        scores = blocked.score_samples(X_query)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Identical model (same rng schedule) and identical per-row math.
+        np.testing.assert_allclose(scores, expected, rtol=1e-9, atol=1e-12)
+        # The blockwise feature map must stay well under the full map.
+        assert peak < full_map_bytes / 2
+
+    def test_invalid_block_size_raises(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(block_size=0)
+
 
 class TestIsolationForest:
     def test_average_path_length_known_values(self):
@@ -146,3 +173,33 @@ class TestDeepIsolationForest:
         scores_a = DeepIsolationForest(n_representations=2, random_state=3).fit(X_train).score_samples(X_normal)
         scores_b = DeepIsolationForest(n_representations=2, random_state=3).fit(X_train).score_samples(X_normal)
         np.testing.assert_allclose(scores_a, scores_b)
+
+    def test_blockwise_scoring_matches_and_bounds_memory(self):
+        import tracemalloc
+
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(250, 5))
+        hidden = 256
+        make = lambda block_size: DeepIsolationForest(
+            n_representations=2,
+            n_estimators_per_representation=5,
+            hidden_dims=(hidden,),
+            block_size=block_size,
+            random_state=0,
+        ).fit(X)
+        X_query = rng.normal(size=(3000, 5))
+        expected = make(1 << 20).score_samples(X_query)  # effectively one block
+
+        blocked = make(64)
+        full_hidden_bytes = X_query.shape[0] * hidden * 8
+        tracemalloc.start()
+        scores = blocked.score_samples(X_query)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        np.testing.assert_allclose(scores, expected, rtol=1e-9, atol=1e-12)
+        # Hidden activations must only ever exist for one block of rows.
+        assert peak < full_hidden_bytes / 2
+
+    def test_invalid_block_size_raises(self):
+        with pytest.raises(ValueError):
+            DeepIsolationForest(block_size=0)

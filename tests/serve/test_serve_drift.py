@@ -1,0 +1,119 @@
+"""Drift monitor: rolling statistics, firing behaviour, cooldown."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.drift import DriftMonitor, _RingBuffer
+
+
+class TestRingBuffer:
+    def test_wraparound_keeps_last_window(self):
+        buffer = _RingBuffer(capacity=5, width=1)
+        buffer.extend(np.arange(3, dtype=np.float64)[:, None])
+        assert buffer.count == 3
+        buffer.extend(np.arange(3, 8, dtype=np.float64)[:, None])
+        assert buffer.count == 5
+        # Window now holds [3, 4, 5, 6, 7].
+        assert buffer.mean()[0] == pytest.approx(5.0)
+
+    def test_batch_larger_than_capacity(self):
+        buffer = _RingBuffer(capacity=4, width=2)
+        rows = np.arange(20, dtype=np.float64).reshape(10, 2)
+        buffer.extend(rows)
+        np.testing.assert_allclose(buffer.mean(), rows[-4:].mean(axis=0))
+
+
+class TestDriftMonitor:
+    def test_stationary_stream_does_not_fire(self):
+        rng = np.random.default_rng(0)
+        monitor = DriftMonitor(window=512, threshold=0.5, min_samples=128)
+        monitor.set_reference(rng.normal(size=1000), rng.normal(size=(1000, 4)))
+        fired = False
+        for _ in range(20):
+            report = monitor.update(rng.normal(size=100), rng.normal(size=(100, 4)))
+            fired = fired or report.drifted
+        assert not fired
+
+    def test_score_shift_fires(self):
+        rng = np.random.default_rng(1)
+        monitor = DriftMonitor(window=256, threshold=0.5, min_samples=64)
+        monitor.set_reference(rng.normal(size=1000))
+        fired = False
+        report = None
+        for _ in range(5):
+            report = monitor.update(rng.normal(loc=3.0, size=100))
+            fired = fired or report.drifted
+        assert fired
+        assert report.score_shift > 0.5
+
+    def test_feature_shift_fires_without_score_shift(self):
+        rng = np.random.default_rng(2)
+        monitor = DriftMonitor(window=256, threshold=0.5, min_samples=64)
+        monitor.set_reference(rng.normal(size=1000), rng.normal(size=(1000, 3)))
+        fired = False
+        for _ in range(5):
+            X = rng.normal(size=(100, 3))
+            X[:, 1] += 2.0  # one feature drifts; scores stay put
+            report = monitor.update(rng.normal(size=100), X)
+            fired = fired or report.drifted
+        assert fired
+        assert report.feature_shift > report.score_shift
+
+    def test_min_samples_suppresses_early_firing(self):
+        rng = np.random.default_rng(3)
+        monitor = DriftMonitor(window=256, threshold=0.5, min_samples=500)
+        monitor.set_reference(rng.normal(size=1000))
+        report = monitor.update(rng.normal(loc=10.0, size=100))
+        assert not report.drifted
+
+    def test_cooldown_suppresses_consecutive_firings(self):
+        rng = np.random.default_rng(4)
+        monitor = DriftMonitor(window=128, threshold=0.5, min_samples=32, cooldown=3)
+        monitor.set_reference(rng.normal(size=500))
+        firings = [
+            monitor.update(rng.normal(loc=5.0, size=64)).drifted for _ in range(5)
+        ]
+        assert firings[0] is False or firings.count(True) <= 2
+        assert any(firings)
+        first = firings.index(True)
+        # The next `cooldown` updates cannot fire again.
+        assert not any(firings[first + 1 : first + 4])
+
+    def test_reference_bootstrap_from_stream(self):
+        rng = np.random.default_rng(5)
+        monitor = DriftMonitor(window=512, threshold=0.5, min_samples=200)
+        for _ in range(4):  # 400 stationary samples become the reference
+            monitor.update(rng.normal(size=100))
+        fired = False
+        for _ in range(6):
+            fired = fired or monitor.update(rng.normal(loc=4.0, size=100)).drifted
+        assert fired
+
+    def test_reset_clears_windows_but_keeps_reference(self):
+        rng = np.random.default_rng(6)
+        monitor = DriftMonitor(window=128, threshold=0.5, min_samples=32)
+        monitor.set_reference(rng.normal(size=500))
+        for _ in range(3):
+            monitor.update(rng.normal(loc=5.0, size=64))
+        monitor.reset()
+        assert monitor._score_ref is not None
+        report = monitor.update(rng.normal(size=64))
+        assert report.n_samples_seen == 64
+        assert not report.drifted
+
+    def test_report_serializes(self):
+        monitor = DriftMonitor(min_samples=4)
+        report = monitor.update(np.zeros(8))
+        payload = report.to_dict()
+        assert payload["type"] == "drift"
+        assert set(payload) >= {"drifted", "score_shift", "feature_shift", "threshold"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(window=1)
+        with pytest.raises(ValueError):
+            DriftMonitor(threshold=0.0)
+        with pytest.raises(ValueError):
+            DriftMonitor().set_reference(np.zeros(1))

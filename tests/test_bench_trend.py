@@ -1,0 +1,100 @@
+"""Logic tests for the benchmark trend checker (no timing involved)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+from check_bench_trend import compare_bench, main  # noqa: E402
+
+sys.path.pop(0)
+
+
+def _payload(**rates: float) -> dict:
+    return {
+        "benchmark": "inference_throughput",
+        "results": {name: {"samples_per_sec": rate} for name, rate in rates.items()},
+    }
+
+
+class TestCompareBench:
+    def test_no_regression_within_threshold(self):
+        baseline = _payload(a=1000.0, b=500.0)
+        fresh = _payload(a=850.0, b=520.0)  # -15% and +4%
+        regressions, notes = compare_bench(baseline, fresh, threshold=0.20)
+        assert regressions == []
+        assert notes == []
+
+    def test_regression_beyond_threshold_flagged(self):
+        baseline = _payload(a=1000.0, b=500.0)
+        fresh = _payload(a=700.0, b=520.0)  # -30%
+        regressions, _ = compare_bench(baseline, fresh, threshold=0.20)
+        assert [r["name"] for r in regressions] == ["a"]
+        assert regressions[0]["change"] == pytest.approx(-0.3)
+
+    def test_exactly_at_threshold_passes(self):
+        baseline = _payload(a=1000.0)
+        fresh = _payload(a=800.0)  # exactly -20%
+        regressions, _ = compare_bench(baseline, fresh, threshold=0.20)
+        assert regressions == []
+
+    def test_missing_entry_is_a_regression(self):
+        baseline = _payload(a=1000.0, b=500.0)
+        fresh = _payload(a=1000.0)
+        regressions, _ = compare_bench(baseline, fresh, threshold=0.20)
+        assert [r["name"] for r in regressions] == ["b"]
+        assert regressions[0]["fresh"] is None
+
+    def test_new_entry_is_informational(self):
+        baseline = _payload(a=1000.0)
+        fresh = _payload(a=1000.0, c=10.0)
+        regressions, notes = compare_bench(baseline, fresh, threshold=0.20)
+        assert regressions == []
+        assert notes and "c" in notes[0]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            compare_bench(_payload(), _payload(), threshold=0.0)
+        with pytest.raises(ValueError):
+            compare_bench(_payload(), _payload(), threshold=1.0)
+
+
+class TestMainExitCodes:
+    def _write(self, tmp_path: Path, name: str, payload: dict) -> Path:
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_exit_zero_on_clean_trend(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", _payload(a=1000.0))
+        fresh = self._write(tmp_path, "fresh.json", _payload(a=990.0))
+        assert main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+        assert "trend OK" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", _payload(a=1000.0))
+        fresh = self._write(tmp_path, "fresh.json", _payload(a=100.0))
+        assert main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 1
+        assert "regressions" in capsys.readouterr().out
+
+    def test_custom_threshold(self, tmp_path):
+        baseline = self._write(tmp_path, "base.json", _payload(a=1000.0))
+        fresh = self._write(tmp_path, "fresh.json", _payload(a=880.0))  # -12%
+        assert main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+        assert (
+            main(
+                ["--baseline", str(baseline), "--fresh", str(fresh), "--threshold", "0.1"]
+            )
+            == 1
+        )
+
+    def test_committed_baseline_is_readable(self):
+        payload = json.loads(
+            (Path(__file__).resolve().parent.parent / "BENCH_inference.json").read_text()
+        )
+        regressions, _ = compare_bench(payload, payload)
+        assert regressions == []

@@ -15,6 +15,7 @@ EXAMPLE_COMMANDS = {
     "zero_day_detection.py": ["--scale", "0.0015", "--epochs", "2"],
     "iiot_stream_monitoring.py": ["--scale", "0.0015", "--experiences", "2", "--epochs", "2"],
     "novelty_detector_comparison.py": ["--scale", "0.0015", "--experiences", "2", "--epochs", "2"],
+    "serve_iiot_stream.py": ["--scale", "0.0015"],
 }
 
 
