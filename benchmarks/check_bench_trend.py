@@ -6,6 +6,14 @@ repository root and exits non-zero when any shared entry regressed by more
 than ``--threshold`` (default 20%) in ``samples_per_sec``, or when a
 previously benchmarked model disappeared.  New entries are informational.
 
+Two sections are guarded: the single-core inference numbers under
+``"results"`` and the multi-core numbers under ``"parallel" -> "results"``
+(written by ``run_parallel_bench.py``; reported with a ``parallel:`` name
+prefix).  A fresh payload that omits the ``parallel`` section entirely skips
+the parallel comparison with a note — so a quick sequential-only measurement
+stays usable — but once both sides carry the section, a vanished or slowed
+parallel entry fails the check like any other.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_bench_trend.py            # measure now
@@ -35,37 +43,68 @@ def compare_bench(
     """
     if not 0.0 < threshold < 1.0:
         raise ValueError("threshold must be a fraction in (0, 1)")
-    baseline_results = baseline.get("results", {})
-    fresh_results = fresh.get("results", {})
     regressions: list[dict] = []
     notes: list[str] = []
-    for name in sorted(baseline_results):
-        base_rate = float(baseline_results[name]["samples_per_sec"])
-        if name not in fresh_results:
-            regressions.append(
-                {"name": name, "baseline": base_rate, "fresh": None, "change": None}
-            )
-            continue
-        fresh_rate = float(fresh_results[name]["samples_per_sec"])
-        change = (fresh_rate - base_rate) / base_rate if base_rate > 0 else 0.0
-        if change < -threshold:
-            regressions.append(
-                {"name": name, "baseline": base_rate, "fresh": fresh_rate, "change": change}
-            )
-    for name in sorted(set(fresh_results) - set(baseline_results)):
-        notes.append(f"new benchmark entry (no baseline): {name}")
+
+    def _compare_section(
+        baseline_results: dict, fresh_results: dict, prefix: str
+    ) -> None:
+        for name in sorted(baseline_results):
+            base_rate = float(baseline_results[name]["samples_per_sec"])
+            if name not in fresh_results:
+                regressions.append(
+                    {
+                        "name": prefix + name,
+                        "baseline": base_rate,
+                        "fresh": None,
+                        "change": None,
+                    }
+                )
+                continue
+            fresh_rate = float(fresh_results[name]["samples_per_sec"])
+            change = (fresh_rate - base_rate) / base_rate if base_rate > 0 else 0.0
+            if change < -threshold:
+                regressions.append(
+                    {
+                        "name": prefix + name,
+                        "baseline": base_rate,
+                        "fresh": fresh_rate,
+                        "change": change,
+                    }
+                )
+        for name in sorted(set(fresh_results) - set(baseline_results)):
+            notes.append(f"new benchmark entry (no baseline): {prefix}{name}")
+
+    _compare_section(baseline.get("results", {}), fresh.get("results", {}), "")
+
+    baseline_parallel = baseline.get("parallel", {}).get("results", {})
+    fresh_parallel_section = fresh.get("parallel")
+    if baseline_parallel and fresh_parallel_section is None:
+        notes.append(
+            "fresh payload has no 'parallel' section; skipping the "
+            "multi-core comparison (rerun run_parallel_bench.py to guard it)"
+        )
+    else:
+        _compare_section(
+            baseline_parallel,
+            (fresh_parallel_section or {}).get("results", {}),
+            "parallel:",
+        )
     return regressions, notes
 
 
 def _measure_fresh() -> dict:
-    # run_inference_bench lives next to this script; the benchmarks directory
-    # is not a package, so import it by path.
+    # The bench runners live next to this script; the benchmarks directory is
+    # not a package, so import them by path.
     sys.path.insert(0, str(BENCH_DIR))
     try:
         import run_inference_bench
+        import run_parallel_bench
     finally:
         sys.path.pop(0)
-    return run_inference_bench.run_bench()
+    payload = run_inference_bench.run_bench()
+    payload["parallel"] = run_parallel_bench.run_bench()
+    return payload
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -220,6 +220,13 @@ def run_bench(
 
 def write_report(payload: dict[str, object], output: Path = DEFAULT_OUTPUT) -> Path:
     output = Path(output)
+    if output.exists():
+        # The multi-core numbers under "parallel" are owned by
+        # run_parallel_bench.py; refreshing the sequential section must not
+        # drop them (and vice versa).
+        previous = json.loads(output.read_text())
+        if "parallel" in previous and "parallel" not in payload:
+            payload = {**payload, "parallel": previous["parallel"]}
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return output
 

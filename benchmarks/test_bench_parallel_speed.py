@@ -1,0 +1,35 @@
+"""Benchmark: multi-core kernel + sharded-serving throughput.
+
+Writes the ``"parallel"`` section of ``BENCH_inference.json`` (the trend
+check compares it across PRs) and sanity-checks that the sharded service
+does not collapse versus the sequential one.  A strict >= 1.5x speedup is
+only asserted on multi-core machines — on one core the fan-out can merely
+break even.
+"""
+
+from __future__ import annotations
+
+import os
+
+from run_parallel_bench import DEFAULT_OUTPUT, run_bench, write_report
+
+
+def test_bench_parallel_throughput():
+    payload = run_bench(n_rows=20_000, n_repeats=3)
+    path = write_report(payload, DEFAULT_OUTPUT)
+    print(f"[parallel section written to {path}]")
+
+    results = payload["results"]
+    for name, entry in results.items():
+        assert entry["samples_per_sec"] > 0.0, name
+
+    n_workers = payload["config"]["n_workers"]
+    sharded = results[f"ShardedDetectionService.run[iforest,thread,w={n_workers}]"]
+    # Merging and dispatch overhead must never cost more than half the
+    # sequential throughput, on any machine.
+    assert sharded["speedup_vs_sequential"] > 0.5
+    if (os.cpu_count() or 1) >= 2:
+        kernels = results[f"IsolationForest.score_samples[threads={n_workers}]"]
+        assert sharded["speedup_vs_sequential"] >= 1.5 or (
+            kernels["speedup_vs_sequential"] >= 1.5
+        ), "neither the sharded service nor the threaded kernels reached 1.5x"

@@ -4,6 +4,7 @@ from repro.ml.binning import batch_bin_right, histogram_log_densities
 from repro.ml.distances import pairwise_euclidean, pairwise_squared_euclidean, pairwise_topk
 from repro.ml.flat_tree import FlatForest, FlatTree, flatten_tree
 from repro.ml.kmeans import KMeans, elbow_method
+from repro.ml.parallel import get_num_threads
 from repro.ml.pca import PCA
 from repro.ml.scalers import MinMaxScaler, StandardScaler
 from repro.ml.splits import stratified_indices, train_test_split
@@ -24,4 +25,5 @@ __all__ = [
     "flatten_tree",
     "batch_bin_right",
     "histogram_log_densities",
+    "get_num_threads",
 ]

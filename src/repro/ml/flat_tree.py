@@ -27,6 +27,13 @@ Complexity and memory
   steps; with the native kernel each step is ~2 loads, otherwise it runs as
   ``depth`` NumPy passes per tree.  Peak extra memory is O(n_samples x
   n_trees) ids for ``apply`` and O(n_samples) for ``sum_values``.
+
+Both the native and the NumPy backend parallelize large batches over
+contiguous *row blocks* (OpenMP in the kernel, the shared thread pool of
+:mod:`repro.ml.parallel` here).  Every block computes exactly what the
+sequential walk computes for those rows — per-row accumulation order over
+trees never changes — so results are bit-identical for any
+``REPRO_NUM_THREADS``.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.ml import native
+from repro.ml.parallel import run_row_blocks
 
 __all__ = ["FlatTree", "FlatForest", "flatten_tree"]
 
@@ -299,27 +307,48 @@ class FlatForest:
             )
             if total is not None:
                 return total[:, None]
-        # Accumulate tree by tree: peak extra memory stays O(n x value_dim)
-        # plus the leaf ids, instead of a (n_trees, n, value_dim) gather.
+        # Multi-payload fallback: walk with apply() (native kernel or threaded
+        # NumPy) and accumulate tree by tree, so peak extra memory stays
+        # O(n x value_dim) plus the leaf ids, instead of a
+        # (n_trees, n, value_dim) gather.  Row blocks are independent and
+        # accumulate trees in the same order, so the threaded accumulation is
+        # bit-identical to the sequential one.
         leaves = self.apply(X)
         out = np.zeros((n, self.value_dim))
-        for t in range(self.n_trees):
-            out += self.value[leaves[t]]
+
+        def _sum_block(start: int, stop: int) -> None:
+            block_out = out[start:stop]
+            for t in range(self.n_trees):
+                block_out += self.value[leaves[t, start:stop]]
+
+        run_row_blocks(_sum_block, n)
         return out
 
-    def _apply_numpy(self, X: np.ndarray) -> np.ndarray:
-        """NumPy fallback: fixed-depth self-loop walk, one tree at a time."""
-        n = X.shape[0]
+    def _walk_rows(self, X: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """Fixed-depth self-loop walk of rows ``[start, stop)``, per tree."""
+        block = X[start:stop]
+        n = block.shape[0]
         rows = np.arange(n)
         leaves = np.empty((self.n_trees, n), dtype=np.int64)
         for t in range(self.n_trees):
             node = np.full(n, self.roots[t], dtype=np.int64)
             for _ in range(int(self.depths[t])):
-                column = X[rows, self.feature[node]]
+                column = block[rows, self.feature[node]]
                 if self.strict:
                     go_right = column >= self.threshold[node]
                 else:
                     go_right = column > self.threshold[node]
                 node = self.child[node] + go_right
             leaves[t] = node
+        return leaves
+
+    def _apply_numpy(self, X: np.ndarray) -> np.ndarray:
+        """NumPy fallback: self-loop walk over threaded row blocks."""
+        n = X.shape[0]
+        leaves = np.empty((self.n_trees, n), dtype=np.int64)
+
+        def _apply_block(start: int, stop: int) -> None:
+            leaves[:, start:stop] = self._walk_rows(X, start, stop)
+
+        run_row_blocks(_apply_block, n)
         return leaves

@@ -1,0 +1,135 @@
+"""Shared row-block thread pool for the multi-core CPU kernels.
+
+Every multi-core path in this library — the OpenMP native kernels, the
+pure-NumPy :class:`~repro.ml.flat_tree.FlatForest` fallback and the blockwise
+:func:`~repro.ml.distances.pairwise_topk` scoring — follows the same recipe:
+split the *rows* of the batch into contiguous blocks, compute each block
+independently into a disjoint slice of a preallocated output, and never
+reduce across blocks.  Because no floating-point accumulation crosses a block
+boundary, the parallel result is **bit-identical** to the sequential one for
+any thread count; parallelism only changes *when* a block is computed, never
+*what* it computes.
+
+``REPRO_NUM_THREADS`` caps the number of threads (default: all CPUs,
+``1`` disables threading entirely).  The pool itself is a lazily created,
+process-wide :class:`~concurrent.futures.ThreadPoolExecutor` shared by all
+kernels so repeated batch scoring does not pay thread start-up per call.
+Threads are appropriate here because the heavy lifting happens in NumPy and
+the ctypes kernels, both of which release the GIL.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+__all__ = ["get_num_threads", "map_row_blocks", "row_block_bounds", "run_row_blocks"]
+
+#: Row blocks smaller than this are not worth a thread handoff.
+MIN_BLOCK_ROWS = 1024
+
+_pool: ThreadPoolExecutor | None = None
+_pool_lock = threading.Lock()
+
+
+def get_num_threads() -> int:
+    """Thread cap for the CPU kernels: ``REPRO_NUM_THREADS`` or all CPUs.
+
+    Invalid or non-positive values fall back to ``1`` (sequential), so a
+    misconfigured environment degrades to the slow-but-correct path instead
+    of raising mid-stream.
+    """
+    raw = os.environ.get("REPRO_NUM_THREADS")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            return 1
+    return os.cpu_count() or 1
+
+
+def row_block_bounds(n_rows: int, n_blocks: int) -> list[tuple[int, int]]:
+    """Split ``[0, n_rows)`` into ``n_blocks`` contiguous near-equal ranges."""
+    if n_rows < 0:
+        raise ValueError("n_rows must be non-negative")
+    if n_blocks < 1:
+        raise ValueError("n_blocks must be at least 1")
+    n_blocks = min(n_blocks, max(n_rows, 1))
+    return [
+        (n_rows * b // n_blocks, n_rows * (b + 1) // n_blocks)
+        for b in range(n_blocks)
+    ]
+
+
+def _get_pool() -> ThreadPoolExecutor:
+    """The process-wide row-block pool, created once and never replaced.
+
+    Callers may be submitting from several threads at once (e.g. sharded
+    serving workers scoring a shared detector), so an existing pool must
+    never be shut down from under them.  The pool is sized once to the
+    machine (threads spawn on demand, so over-provisioning is cheap); block
+    batches larger than the pool simply queue, which is still correct — the
+    effective parallelism cap is applied per call via the block count.
+    """
+    global _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = ThreadPoolExecutor(
+                max_workers=max(os.cpu_count() or 1, get_num_threads(), 4),
+                thread_name_prefix="repro-rowblock",
+            )
+        return _pool
+
+
+def map_row_blocks(
+    kernel: Callable[[int, int], None],
+    bounds: Sequence[tuple[int, int]],
+    *,
+    n_threads: int | None = None,
+) -> bool:
+    """Run ``kernel(start, stop)`` for every range in ``bounds``.
+
+    Ranges must write to disjoint outputs; they execute concurrently on the
+    shared pool when more than one thread is allowed, sequentially (in
+    order) otherwise.  Returns ``True`` when the pool was used.  The first
+    kernel exception is re-raised either way.
+    """
+    if n_threads is None:
+        n_threads = get_num_threads()
+    if n_threads <= 1 or len(bounds) <= 1:
+        for start, stop in bounds:
+            kernel(start, stop)
+        return False
+    pool = _get_pool()
+    futures = [pool.submit(kernel, start, stop) for start, stop in bounds]
+    for future in futures:
+        future.result()
+    return True
+
+
+def run_row_blocks(
+    kernel: Callable[[int, int], None],
+    n_rows: int,
+    *,
+    n_threads: int | None = None,
+    min_block_rows: int = MIN_BLOCK_ROWS,
+) -> bool:
+    """Split ``n_rows`` into per-thread blocks and run ``kernel`` over them.
+
+    The block count is ``min(n_threads, ceil(n_rows / min_block_rows))`` so
+    small batches stay on the calling thread.  Returns ``True`` when the
+    pool was used.
+    """
+    if n_threads is None:
+        n_threads = get_num_threads()
+    if min_block_rows < 1:
+        raise ValueError("min_block_rows must be at least 1")
+    n_blocks = min(n_threads, -(-n_rows // min_block_rows) if n_rows else 1)
+    if n_blocks <= 1:
+        kernel(0, n_rows)
+        return False
+    return map_row_blocks(
+        kernel, row_block_bounds(n_rows, n_blocks), n_threads=n_threads
+    )

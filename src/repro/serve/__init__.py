@@ -16,12 +16,16 @@ fitted detector into something that can be *deployed*:
   distribution shift and can trigger a refit-from-registry,
 * :mod:`repro.serve.fusion` — score-level fusion of several detectors
   (mean / max / conflict-aware PCR-style weighting) served as one model,
+* :mod:`repro.serve.parallel` — :class:`ShardedDetectionService`, fanning a
+  stream out to thread/process workers with deterministic round-robin
+  sharding and a global-order merge of alerts and drift events,
 * :mod:`repro.serve.sinks` — pluggable alert sinks (in-memory, JSONL,
   callback).
 """
 
 from repro.serve.drift import DriftMonitor, DriftReport
 from repro.serve.fusion import FusionDetector
+from repro.serve.parallel import ShardedDetectionService
 from repro.serve.registry import ModelRegistry, SnapshotInfo
 from repro.serve.service import (
     Alert,
@@ -54,6 +58,7 @@ __all__ = [
     "ListSink",
     "ModelRegistry",
     "ServiceReport",
+    "ShardedDetectionService",
     "SnapshotError",
     "SnapshotInfo",
     "SNAPSHOT_FORMAT_VERSION",

@@ -7,6 +7,9 @@ Usage examples::
     repro serve --dataset wustl_iiot --scale 0.002 --detector iforest \
         --drift-strength 2.0 --threshold rolling
 
+    # shard the stream across 4 workers (alerts re-merge in stream order)
+    repro serve --dataset wustl_iiot --detector iforest --workers 4
+
     # publish the fitted model and serve from the registry afterwards
     repro serve --dataset wustl_iiot --detector knn --registry ./models --publish
     repro serve --dataset wustl_iiot --registry ./models --model knn-wustl_iiot
@@ -22,6 +25,7 @@ commands work as ``python -m repro.experiments.cli ...``.)
 from __future__ import annotations
 
 import argparse
+import functools
 from pathlib import Path
 
 import numpy as np
@@ -40,6 +44,7 @@ from repro.novelty import (
 )
 from repro.serve.drift import DriftMonitor
 from repro.serve.fusion import FusionDetector
+from repro.serve.parallel import ShardedDetectionService
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import DetectionService, make_registry_reload
 from repro.serve.sinks import JsonlSink
@@ -87,6 +92,16 @@ def _parser() -> argparse.ArgumentParser:
         help="upper bound on rows per scoring call (bounds peak memory)",
     )
     serve.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the stream across this many workers (1 = sequential); "
+        "batches are round-robin assigned and alerts re-merge in stream order",
+    )
+    serve.add_argument(
+        "--worker-mode", choices=["auto", "thread", "process"], default="auto",
+        help="worker backend with --workers > 1 (auto: threads when the "
+        "native kernels are available, processes otherwise)",
+    )
+    serve.add_argument(
         "--drift-strength", type=float, default=2.0,
         help="covariate drift injected over the stream (0 disables)",
     )
@@ -127,6 +142,12 @@ def _split_model_selector(selector: str) -> tuple[str, str | None]:
     return name, (version or None)
 
 
+def _make_drift_monitor(ref_scores: np.ndarray, ref_X: np.ndarray) -> DriftMonitor:
+    """Per-shard drift-monitor factory (module-level so process workers can
+    unpickle the ``functools.partial`` built over it)."""
+    return DriftMonitor().set_reference(ref_scores, ref_X)
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     normal = dataset.normal_data()
@@ -158,28 +179,56 @@ def _run_serve(args: argparse.Namespace) -> int:
     except ValueError:
         threshold = args.threshold
 
-    monitor = DriftMonitor()
-    monitor.set_reference(detector.score_samples(normal), normal)
-
-    on_drift = None
-    if args.reload_on_drift:
-        if registry is None or reload_selector is None:
-            raise SystemExit(
-                "--reload-on-drift requires --registry plus either --model or --publish"
-            )
-        name, version = reload_selector
-        on_drift = make_registry_reload(registry, name, version=version)
-
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
     sinks = [JsonlSink(args.alerts)] if args.alerts is not None else []
-    service = DetectionService(
-        detector,
-        threshold=threshold,
-        rolling_quantile=args.rolling_quantile,
-        micro_batch_size=args.micro_batch_size,
-        drift_monitor=monitor,
-        sinks=sinks,
-        on_drift=on_drift,
-    )
+    ref_scores = detector.score_samples(normal)
+
+    if args.workers > 1:
+        if args.reload_on_drift:
+            raise SystemExit(
+                "--reload-on-drift requires the sequential service (--workers 1): "
+                "hot-swapping one registry model across shard workers is not "
+                "coordinated"
+            )
+        service: DetectionService | ShardedDetectionService = ShardedDetectionService(
+            detector,
+            n_workers=args.workers,
+            mode=args.worker_mode,
+            threshold=threshold,
+            rolling_quantile=args.rolling_quantile,
+            micro_batch_size=args.micro_batch_size,
+            drift_monitor_factory=functools.partial(
+                _make_drift_monitor, ref_scores, normal
+            ),
+            sinks=sinks,
+        )
+        print(
+            f"sharding across {args.workers} {service.resolved_mode()} workers "
+            "(round-robin batches, global-order merge)"
+        )
+    else:
+        monitor = DriftMonitor()
+        monitor.set_reference(ref_scores, normal)
+
+        on_drift = None
+        if args.reload_on_drift:
+            if registry is None or reload_selector is None:
+                raise SystemExit(
+                    "--reload-on-drift requires --registry plus either --model or --publish"
+                )
+            name, version = reload_selector
+            on_drift = make_registry_reload(registry, name, version=version)
+
+        service = DetectionService(
+            detector,
+            threshold=threshold,
+            rolling_quantile=args.rolling_quantile,
+            micro_batch_size=args.micro_batch_size,
+            drift_monitor=monitor,
+            sinks=sinks,
+            on_drift=on_drift,
+        )
     stream = FlowStream(
         dataset,
         batch_size=args.batch_size,

@@ -1,0 +1,354 @@
+"""Sharded, multi-worker stream serving on top of :class:`DetectionService`.
+
+:class:`ShardedDetectionService` fans one stream of flow batches out to ``N``
+workers, each running its own :class:`~repro.serve.service.DetectionService`
+over a deterministic shard, and merges the per-shard outputs back into global
+stream order.  The decomposition mirrors the tree/row-block parallelism of
+:mod:`repro.ml` one layer up: batches are independent work items, so sharding
+them changes *where* a batch is scored, never *what* its scores are.
+
+Determinism contract
+--------------------
+* **Shard assignment is round-robin by global batch index** — batch ``g``
+  always goes to worker ``g % n_workers``, independent of timing, so a rerun
+  shards identically.
+* **Scores are bit-identical to the sequential service**: each batch is
+  scored by the same micro-batched code path against the same model.
+* **Alerts and drift events are re-serialized into global stream order**
+  before they reach the sinks, carrying global batch/sample indices; with a
+  fixed or ``"auto"`` threshold the merged alert stream is *identical* to the
+  sequential service's.
+* **Rolling thresholds are per shard**: each worker's rolling window sees
+  only its own shard (1 of every ``n_workers`` batches), so ``"rolling"``
+  thresholds track the same distribution but are not batch-for-batch
+  identical to a single sequential window.  Use a fixed or ``"auto"``
+  threshold when exact sequential equivalence matters.
+
+Worker modes
+------------
+``mode="thread"`` shares the fitted detector across worker threads
+(scoring is read-only; NumPy and the native kernels release the GIL, so
+native-kernel detectors scale well) and consumes the stream lazily in
+bounded *rounds*.  ``mode="process"`` snapshots the detector once
+(:func:`~repro.serve.snapshot.save_snapshot`), loads it in each worker
+process, and materializes the stream up front — higher overhead and memory,
+but unaffected by the GIL for pure-Python scoring.  ``mode="auto"`` picks
+threads when the native kernels are available and processes otherwise.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.ml import native
+from repro.serve.drift import DriftMonitor
+from repro.serve.service import (
+    Alert,
+    BatchResult,
+    DetectionService,
+    DriftEvent,
+    ServiceReport,
+    _validate_stream_batch,
+)
+from repro.serve.snapshot import load_snapshot, save_snapshot
+from repro.utils.timing import Timer
+
+__all__ = ["ShardedDetectionService"]
+
+
+def _score_shard_in_subprocess(
+    snapshot_path: str,
+    service_kwargs: dict,
+    drift_monitor_factory: Callable[[], DriftMonitor] | None,
+    items: list[tuple[int, np.ndarray]],
+) -> list[tuple[int, BatchResult]]:
+    """Worker-process entry point: load the snapshot, score one whole shard.
+
+    Module-level so it pickles; returns ``(global_batch_index, BatchResult)``
+    pairs (all dataclasses of arrays/floats — cheap to pickle back).
+    """
+    detector = load_snapshot(snapshot_path)
+    monitor = drift_monitor_factory() if drift_monitor_factory is not None else None
+    service = DetectionService(detector, drift_monitor=monitor, **service_kwargs)
+    return [(g, service.process_batch(X)) for g, X in items]
+
+
+class ShardedDetectionService:
+    """Serve a stream through ``n_workers`` sharded detection services.
+
+    Parameters
+    ----------
+    detector:
+        Fitted object exposing ``score_samples``; shared across threads or
+        snapshotted into worker processes depending on ``mode``.
+    n_workers:
+        Number of shards/workers (``1`` degenerates to a sequential service
+        with merger overhead).
+    mode:
+        ``"thread"``, ``"process"`` or ``"auto"`` (threads when the native
+        kernels are available, processes otherwise).
+    threshold, rolling_window, rolling_quantile, min_rolling, micro_batch_size:
+        Forwarded to every shard's :class:`DetectionService` (see there);
+        rolling thresholds are evaluated per shard.
+    drift_monitor_factory:
+        Zero-argument callable building one fresh
+        :class:`~repro.serve.drift.DriftMonitor` per shard (must be picklable
+        in process mode, e.g. a module-level function or
+        :func:`functools.partial` over one).  Drift events are merged into
+        global batch order.  A shared mutable monitor instance cannot be
+        accepted — shards would race on its windows — hence a factory.
+    sinks:
+        Alert sinks fed by the *merger* (not the shards) so events arrive in
+        global stream order exactly once.
+    batches_per_round:
+        Thread mode consumes the stream in rounds of
+        ``n_workers * batches_per_round`` batches, bounding buffered memory
+        while keeping every worker busy.
+    """
+
+    def __init__(
+        self,
+        detector: Any,
+        *,
+        n_workers: int = 2,
+        mode: str = "auto",
+        threshold: float | str = "auto",
+        rolling_window: int = 4096,
+        rolling_quantile: float = 0.95,
+        min_rolling: int = 64,
+        micro_batch_size: int = 1024,
+        drift_monitor_factory: Callable[[], DriftMonitor] | None = None,
+        sinks: Sequence[Any] = (),
+        batches_per_round: int = 4,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if mode not in ("auto", "thread", "process"):
+            raise ValueError("mode must be 'auto', 'thread' or 'process'")
+        if batches_per_round < 1:
+            raise ValueError("batches_per_round must be at least 1")
+        if isinstance(drift_monitor_factory, DriftMonitor):
+            raise TypeError(
+                "pass a factory building one DriftMonitor per shard, not a "
+                "monitor instance (shards would race on its windows)"
+            )
+        self.detector = detector
+        self.n_workers = n_workers
+        self.mode = mode
+        self.drift_monitor_factory = drift_monitor_factory
+        self.sinks = list(sinks)
+        self.batches_per_round = batches_per_round
+        self._service_kwargs = dict(
+            threshold=threshold,
+            rolling_window=rolling_window,
+            rolling_quantile=rolling_quantile,
+            min_rolling=min_rolling,
+            micro_batch_size=micro_batch_size,
+        )
+        # Validate the shared configuration eagerly (same errors, same
+        # messages as the sequential service) instead of inside a worker.
+        DetectionService(detector, **self._service_kwargs)
+
+        self.timer = Timer()
+        self.n_features_: int | None = None
+        self.n_batches_ = 0
+        self.n_samples_ = 0
+        self.n_alerts_ = 0
+        self.n_drift_events_ = 0
+        self.drift_batches_: list[int] = []
+        self._latency_total = 0.0
+        self._shard_services: list[DetectionService] | None = None
+
+    # -- configuration -----------------------------------------------------------
+    def resolved_mode(self) -> str:
+        """The worker mode actually used (``"auto"`` resolved)."""
+        if self.mode != "auto":
+            return self.mode
+        return "thread" if native.available() else "process"
+
+    # -- stream plumbing ---------------------------------------------------------
+    def _validate_width(self, X: Any) -> np.ndarray:
+        """Parent-side feature contract, identical to the sequential service.
+
+        Each shard only sees every ``n_workers``-th batch, so a mid-stream
+        width change could otherwise slip past the shard that never receives
+        it; validating at dispatch keeps the sequential error behavior.
+        """
+        X, self.n_features_ = _validate_stream_batch(X, self.n_features_)
+        return X
+
+    def _indexed_batches(self, stream: Iterable[Any]) -> Iterator[tuple[int, np.ndarray]]:
+        for g, item in enumerate(stream, start=self.n_batches_):
+            yield g, self._validate_width(DetectionService._batch_features(item))
+
+    # -- merging -----------------------------------------------------------------
+    def _emit(self, event: Any) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def _merge_in_order(
+        self, per_batch: dict[int, BatchResult]
+    ) -> Iterator[BatchResult]:
+        """Re-serialize shard results into global order; emit + count."""
+        for g in sorted(per_batch):
+            shard_result = per_batch[g]
+            offset = self.n_samples_
+            alerts = tuple(
+                Alert(
+                    batch_index=g,
+                    sample_index=offset + int(i),
+                    score=float(shard_result.scores[i]),
+                    threshold=shard_result.threshold,
+                )
+                for i in np.flatnonzero(shard_result.predictions)
+            )
+            for alert in alerts:
+                self._emit(alert)
+            drift = shard_result.drift
+            if drift is not None and drift.drifted:
+                self.n_drift_events_ += 1
+                self.drift_batches_.append(g)
+                self._emit(DriftEvent(batch_index=g, report=drift))
+            self.n_batches_ += 1
+            self.n_samples_ += shard_result.n_samples
+            self.n_alerts_ += len(alerts)
+            self._latency_total += shard_result.latency_s
+            yield BatchResult(
+                index=g,
+                scores=shard_result.scores,
+                predictions=shard_result.predictions,
+                threshold=shard_result.threshold,
+                alerts=alerts,
+                drift=drift,
+                latency_s=shard_result.latency_s,
+            )
+
+    # -- thread mode -------------------------------------------------------------
+    def _make_shard_service(self) -> DetectionService:
+        monitor = (
+            self.drift_monitor_factory()
+            if self.drift_monitor_factory is not None
+            else None
+        )
+        return DetectionService(
+            self.detector, drift_monitor=monitor, **self._service_kwargs
+        )
+
+    @staticmethod
+    def _score_shard(
+        service: DetectionService, items: list[tuple[int, np.ndarray]]
+    ) -> list[tuple[int, BatchResult]]:
+        return [(g, service.process_batch(X)) for g, X in items]
+
+    def _process_threaded(self, stream: Iterable[Any]) -> Iterator[BatchResult]:
+        if self._shard_services is None:
+            self._shard_services = [
+                self._make_shard_service() for _ in range(self.n_workers)
+            ]
+        round_size = self.n_workers * self.batches_per_round
+        batches = self._indexed_batches(stream)
+        with ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="repro-shard"
+        ) as pool:
+            while True:
+                round_items: list[tuple[int, np.ndarray]] = []
+                for item in batches:
+                    round_items.append(item)
+                    if len(round_items) >= round_size:
+                        break
+                if not round_items:
+                    return
+                shards: list[list[tuple[int, np.ndarray]]] = [
+                    [] for _ in range(self.n_workers)
+                ]
+                for g, X in round_items:
+                    shards[g % self.n_workers].append((g, X))
+                futures = [
+                    pool.submit(self._score_shard, self._shard_services[s], items)
+                    for s, items in enumerate(shards)
+                    if items
+                ]
+                per_batch: dict[int, BatchResult] = {}
+                for future in futures:
+                    per_batch.update(dict(future.result()))
+                yield from self._merge_in_order(per_batch)
+
+    # -- process mode ------------------------------------------------------------
+    def _process_multiprocess(self, stream: Iterable[Any]) -> Iterator[BatchResult]:
+        shards: list[list[tuple[int, np.ndarray]]] = [
+            [] for _ in range(self.n_workers)
+        ]
+        for g, X in self._indexed_batches(stream):
+            shards[g % self.n_workers].append((g, X))
+        if not any(shards):
+            return
+        per_batch: dict[int, BatchResult] = {}
+        with tempfile.TemporaryDirectory(prefix="repro-shard-") as tmp:
+            snapshot_path = str(Path(tmp) / "model")
+            save_snapshot(self.detector, snapshot_path)
+            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                futures = [
+                    pool.submit(
+                        _score_shard_in_subprocess,
+                        snapshot_path,
+                        self._service_kwargs,
+                        self.drift_monitor_factory,
+                        items,
+                    )
+                    for items in shards
+                    if items
+                ]
+                for future in futures:
+                    per_batch.update(dict(future.result()))
+        yield from self._merge_in_order(per_batch)
+
+    # -- public API --------------------------------------------------------------
+    def process(self, stream: Iterable[Any]) -> Iterator[BatchResult]:
+        """Yield merged :class:`BatchResult`\\ s in global stream order.
+
+        Thread mode yields round by round (bounded buffering); process mode
+        yields only after the whole stream was scored.
+        """
+        with self.timer:
+            if self.resolved_mode() == "thread":
+                yield from self._process_threaded(stream)
+            else:
+                yield from self._process_multiprocess(stream)
+
+    def run(self, stream: Iterable[Any], *, close_sinks: bool = True) -> ServiceReport:
+        """Consume the whole stream and return the merged aggregate report."""
+        try:
+            for _ in self.process(stream):
+                pass
+        finally:
+            if close_sinks:
+                for sink in self.sinks:
+                    sink.close()
+        return self.report()
+
+    def report(self) -> ServiceReport:
+        """Merged counters so far.
+
+        ``total_time_s`` and the throughput are *wall-clock* over the whole
+        fan-out (that is the operator-visible rate); ``mean_batch_latency_s``
+        averages the per-batch scoring latencies measured inside the workers.
+        """
+        rate_timer = Timer(total=self.timer.total, n_calls=1)
+        throughput = rate_timer.throughput(self.n_samples_) if self.n_samples_ else 0.0
+        return ServiceReport(
+            n_batches=self.n_batches_,
+            n_samples=self.n_samples_,
+            n_alerts=self.n_alerts_,
+            n_drift_events=self.n_drift_events_,
+            drift_batches=list(self.drift_batches_),
+            total_time_s=self.timer.total,
+            throughput_samples_per_sec=throughput,
+            mean_batch_latency_s=(
+                self._latency_total / self.n_batches_ if self.n_batches_ else 0.0
+            ),
+        )

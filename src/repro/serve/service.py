@@ -43,6 +43,27 @@ __all__ = [
 ]
 
 
+def _validate_stream_batch(
+    X: np.ndarray, n_features: int | None
+) -> tuple[np.ndarray, int]:
+    """Shared validate-once batch check (sequential and sharded services).
+
+    Returns the converted batch and the (possibly just-fixed) stream feature
+    width; raises with identical messages from every service flavor.
+    """
+    X = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
+    if X.ndim != 2:
+        raise ValueError(f"stream batches must be 2-D, got shape {X.shape}")
+    if n_features is None:
+        n_features = int(X.shape[1])
+    elif X.shape[1] != n_features:
+        raise ValueError(
+            f"stream batch has {X.shape[1]} features, "
+            f"stream started with {n_features}"
+        )
+    return X, n_features
+
+
 @dataclass(frozen=True)
 class Alert:
     """One flagged flow: where in the stream it was and why."""
@@ -228,16 +249,7 @@ class DetectionService:
 
     # -- scoring -----------------------------------------------------------------
     def _validate_once(self, X: np.ndarray) -> np.ndarray:
-        X = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
-        if X.ndim != 2:
-            raise ValueError(f"stream batches must be 2-D, got shape {X.shape}")
-        if self.n_features_ is None:
-            self.n_features_ = int(X.shape[1])
-        elif X.shape[1] != self.n_features_:
-            raise ValueError(
-                f"stream batch has {X.shape[1]} features, "
-                f"stream started with {self.n_features_}"
-            )
+        X, self.n_features_ = _validate_stream_batch(X, self.n_features_)
         return X
 
     def _score_micro_batched(self, X: np.ndarray) -> np.ndarray:
@@ -255,7 +267,15 @@ class DetectionService:
             scores[start:stop] = self.detector.score_samples(X[start:stop])
         return scores
 
-    def _current_threshold(self) -> float:
+    def _current_threshold(self, batch_scores: np.ndarray | None = None) -> float:
+        """Threshold for the incoming batch, from *pre-batch* state only.
+
+        The rolling window must not yet contain ``batch_scores``: a threshold
+        that included the current batch would let a burst of anomalies inflate
+        its own cut-off and evade alerting.  ``batch_scores`` is used solely to
+        bootstrap the very first rolling threshold when the window is empty
+        and the detector has no fitted default.
+        """
         if isinstance(self.threshold, (int, float)):
             return float(self.threshold)
         detector_default = getattr(self.detector, "threshold_", None)
@@ -270,6 +290,10 @@ class DetectionService:
         if self._rolling.count < self.min_rolling and detector_default is not None:
             return float(detector_default)
         if self._rolling.count == 0:
+            if batch_scores is not None and batch_scores.size:
+                return float(
+                    quantile_threshold(batch_scores, self.rolling_quantile)
+                )
             raise RuntimeError("rolling threshold requested before any scores arrived")
         return float(
             quantile_threshold(self._rolling.values().ravel(), self.rolling_quantile)
@@ -280,16 +304,31 @@ class DetectionService:
             sink.emit(event)
 
     def process_batch(self, X: np.ndarray) -> BatchResult:
-        """Score one batch: thresholds, alerts, drift, counters."""
+        """Score one batch: thresholds, alerts, drift, counters.
+
+        Zero-row batches (an idle producer flushing an empty buffer) are
+        counted in the report but skip scoring, threshold evaluation, alerts
+        and drift — there is nothing to judge, and a rolling threshold over
+        an empty window would otherwise raise at stream start.  Their
+        :attr:`BatchResult.threshold` is ``nan``.
+        """
         X = self._validate_once(X)
         batch_index = self.n_batches_
         offset = self.n_samples_
         accumulated = self.timer.total
         with self.timer:
-            scores = self._score_micro_batched(X)
-            self._rolling.extend(scores[:, None])
-            threshold = self._current_threshold()
-            predictions = (scores > threshold).astype(np.int64)
+            if X.shape[0]:
+                scores = self._score_micro_batched(X)
+                # Threshold comes from the window *before* this batch (else a
+                # burst of anomalies would inflate its own threshold and evade
+                # alerting); only then does the batch enter the window.
+                threshold = self._current_threshold(scores)
+                self._rolling.extend(scores[:, None])
+                predictions = (scores > threshold).astype(np.int64)
+            else:
+                scores = np.empty(0, dtype=np.float64)
+                threshold = float("nan")
+                predictions = np.empty(0, dtype=np.int64)
         latency = self.timer.total - accumulated
         alerts = tuple(
             Alert(
@@ -304,7 +343,7 @@ class DetectionService:
             self._emit(alert)
 
         drift_report: DriftReport | None = None
-        if self.drift_monitor is not None:
+        if self.drift_monitor is not None and scores.size:
             drift_report = self.drift_monitor.update(scores, X)
             if drift_report.drifted:
                 self.n_drift_events_ += 1

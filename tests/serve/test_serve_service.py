@@ -127,10 +127,51 @@ class TestThresholds:
         # Warm-up: detector default until min_rolling scores arrived.
         assert first.threshold == detector.threshold_
         for start in range(40, 400, 90):
+            # The threshold judging a batch comes from the window *before*
+            # that batch (a burst must not raise its own bar), so capture the
+            # window ahead of each call.
+            pre_window = service._rolling.values().ravel().copy()
             last = service.process_batch(normal[start : start + 90])
-        # After warm-up the threshold tracks the rolling 90% quantile.
-        window = service._rolling.values().ravel()
-        assert last.threshold == pytest.approx(np.quantile(window, 0.9), rel=1e-9)
+        # After warm-up the threshold tracks the rolling 90% quantile of the
+        # pre-batch window.
+        assert last.threshold == pytest.approx(np.quantile(pre_window, 0.9), rel=1e-9)
+
+    def test_rolling_threshold_is_pre_batch(self, stream_setup):
+        # Regression test: a burst of anomalies must be judged against the
+        # *prior* window, not against a threshold inflated by its own scores.
+        class Passthrough:
+            def score_samples(self, X):
+                return np.asarray(X[:, 0], dtype=np.float64)
+
+        service = DetectionService(
+            Passthrough(),
+            threshold="rolling",
+            rolling_window=256,
+            rolling_quantile=0.9,
+            min_rolling=1,
+        )
+        calm = np.linspace(0.0, 1.0, 100)[:, None]
+        service.process_batch(calm)
+        burst = np.full((50, 1), 100.0)  # every flow wildly anomalous
+        result = service.process_batch(burst)
+        # Pre-batch semantics: threshold ~ 0.9 (from the calm window), so the
+        # whole burst alerts.  The old self-referential window would have set
+        # the threshold to 100.0 and alerted on nothing.
+        assert result.threshold == pytest.approx(np.quantile(calm.ravel(), 0.9))
+        assert result.n_alerts == 50
+
+    def test_rolling_bootstraps_from_first_batch_without_default(self):
+        # No fitted threshold_ and an empty window: the very first non-empty
+        # batch seeds the rolling threshold from its own scores (one-off
+        # bootstrap) instead of raising.
+        class Bare:
+            def score_samples(self, X):
+                return np.asarray(X[:, 0], dtype=np.float64)
+
+        service = DetectionService(Bare(), threshold="rolling", rolling_quantile=0.5)
+        scores = np.arange(10, dtype=np.float64)[:, None]
+        result = service.process_batch(scores)
+        assert result.threshold == pytest.approx(np.quantile(scores.ravel(), 0.5))
 
     def test_alert_rate_roughly_matches_rolling_quantile(self, stream_setup):
         dataset, _, detector = stream_setup
@@ -141,6 +182,56 @@ class TestThresholds:
         report = service.run(stream)
         rate = report.n_alerts / report.n_samples
         assert 0.03 < rate < 0.3  # ~10% by construction, generous margins
+
+
+class TestEmptyBatches:
+    def test_empty_batch_at_stream_start_rolling_no_default(self):
+        # Regression test: a zero-row batch used to crash rolling mode at
+        # stream start (empty window, no detector default).
+        class Bare:
+            def score_samples(self, X):
+                return np.asarray(X[:, 0], dtype=np.float64)
+
+        service = DetectionService(Bare(), threshold="rolling")
+        result = service.process_batch(np.empty((0, 3)))
+        assert result.n_samples == 0
+        assert result.n_alerts == 0
+        assert np.isnan(result.threshold)
+        report = service.report()
+        assert report.n_batches == 1
+        assert report.n_samples == 0
+
+    def test_empty_batches_counted_but_skip_alerts_and_drift(self, stream_setup):
+        _, normal, detector = stream_setup
+        monitor = DriftMonitor(window=64, threshold=0.5, min_samples=8)
+        monitor.set_reference(detector.score_samples(normal), normal)
+        service = DetectionService(
+            detector, threshold="auto", drift_monitor=monitor
+        )
+        width = normal.shape[1]
+        results = list(
+            service.process(
+                [np.empty((0, width)), normal[:30], np.empty((0, width)), normal[30:47]]
+            )
+        )
+        assert [r.n_samples for r in results] == [0, 30, 0, 17]
+        assert results[0].drift is None and results[2].drift is None
+        report = service.report()
+        assert report.n_batches == 4
+        assert report.n_samples == 47
+        # Scores of the non-empty batches are unaffected by the empty ones.
+        np.testing.assert_array_equal(
+            np.concatenate([r.scores for r in results]),
+            detector.score_samples(normal[:47]),
+        )
+
+    def test_empty_batch_fixes_feature_width(self, stream_setup):
+        _, normal, detector = stream_setup
+        service = DetectionService(detector, threshold="auto")
+        service.process_batch(np.empty((0, normal.shape[1])))
+        assert service.n_features_ == normal.shape[1]
+        with pytest.raises(ValueError, match="stream started with"):
+            service.process_batch(np.zeros((4, normal.shape[1] + 2)))
 
 
 class TestAlertsAndSinks:

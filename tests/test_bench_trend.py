@@ -10,6 +10,8 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 from check_bench_trend import compare_bench, main  # noqa: E402
+from run_inference_bench import write_report as write_inference_report  # noqa: E402
+from run_parallel_bench import write_report as write_parallel_report  # noqa: E402
 
 sys.path.pop(0)
 
@@ -19,6 +21,15 @@ def _payload(**rates: float) -> dict:
         "benchmark": "inference_throughput",
         "results": {name: {"samples_per_sec": rate} for name, rate in rates.items()},
     }
+
+
+def _with_parallel(payload: dict, **rates: float) -> dict:
+    payload = dict(payload)
+    payload["parallel"] = {
+        "benchmark": "parallel_throughput",
+        "results": {name: {"samples_per_sec": rate} for name, rate in rates.items()},
+    }
+    return payload
 
 
 class TestCompareBench:
@@ -61,6 +72,65 @@ class TestCompareBench:
             compare_bench(_payload(), _payload(), threshold=0.0)
         with pytest.raises(ValueError):
             compare_bench(_payload(), _payload(), threshold=1.0)
+
+
+class TestParallelSection:
+    def test_parallel_regression_flagged_with_prefix(self):
+        baseline = _with_parallel(_payload(a=1000.0), sharded=1000.0)
+        fresh = _with_parallel(_payload(a=1000.0), sharded=500.0)  # -50%
+        regressions, _ = compare_bench(baseline, fresh, threshold=0.20)
+        assert [r["name"] for r in regressions] == ["parallel:sharded"]
+        assert regressions[0]["change"] == pytest.approx(-0.5)
+
+    def test_parallel_within_threshold_passes(self):
+        baseline = _with_parallel(_payload(a=1000.0), sharded=1000.0)
+        fresh = _with_parallel(_payload(a=1000.0), sharded=900.0)
+        regressions, notes = compare_bench(baseline, fresh, threshold=0.20)
+        assert regressions == []
+        assert notes == []
+
+    def test_missing_parallel_section_is_note_not_regression(self):
+        # A quick sequential-only measurement must stay usable.
+        baseline = _with_parallel(_payload(a=1000.0), sharded=1000.0)
+        fresh = _payload(a=1000.0)
+        regressions, notes = compare_bench(baseline, fresh, threshold=0.20)
+        assert regressions == []
+        assert notes and "parallel" in notes[0]
+
+    def test_missing_parallel_entry_is_regression_when_section_present(self):
+        baseline = _with_parallel(_payload(a=1000.0), sharded=1000.0, kernels=500.0)
+        fresh = _with_parallel(_payload(a=1000.0), sharded=1000.0)
+        regressions, _ = compare_bench(baseline, fresh, threshold=0.20)
+        assert [r["name"] for r in regressions] == ["parallel:kernels"]
+        assert regressions[0]["fresh"] is None
+
+    def test_new_parallel_entry_is_informational(self):
+        baseline = _payload(a=1000.0)
+        fresh = _with_parallel(_payload(a=1000.0), sharded=1000.0)
+        regressions, notes = compare_bench(baseline, fresh, threshold=0.20)
+        assert regressions == []
+        assert notes and "parallel:sharded" in notes[0]
+
+
+class TestSectionedWrites:
+    """The two bench runners share one file; neither may drop the other's data."""
+
+    def test_parallel_write_preserves_sequential_results(self, tmp_path):
+        out = tmp_path / "bench.json"
+        write_inference_report(_payload(a=1000.0), out)
+        write_parallel_report({"results": {"sharded": {"samples_per_sec": 1.0}}}, out)
+        document = json.loads(out.read_text())
+        assert document["results"]["a"]["samples_per_sec"] == 1000.0
+        assert document["parallel"]["results"]["sharded"]["samples_per_sec"] == 1.0
+
+    def test_sequential_rewrite_preserves_parallel_section(self, tmp_path):
+        out = tmp_path / "bench.json"
+        write_inference_report(_payload(a=1000.0), out)
+        write_parallel_report({"results": {"sharded": {"samples_per_sec": 1.0}}}, out)
+        write_inference_report(_payload(a=2000.0), out)
+        document = json.loads(out.read_text())
+        assert document["results"]["a"]["samples_per_sec"] == 2000.0
+        assert document["parallel"]["results"]["sharded"]["samples_per_sec"] == 1.0
 
 
 class TestMainExitCodes:
