@@ -6,13 +6,15 @@ repository root and exits non-zero when any shared entry regressed by more
 than ``--threshold`` (default 20%) in ``samples_per_sec``, or when a
 previously benchmarked model disappeared.  New entries are informational.
 
-Two sections are guarded: the single-core inference numbers under
-``"results"`` and the multi-core numbers under ``"parallel" -> "results"``
-(written by ``run_parallel_bench.py``; reported with a ``parallel:`` name
-prefix).  A fresh payload that omits the ``parallel`` section entirely skips
-the parallel comparison with a note — so a quick sequential-only measurement
-stays usable — but once both sides carry the section, a vanished or slowed
-parallel entry fails the check like any other.
+Three sections are guarded: the single-core inference numbers under
+``"results"``, the multi-core numbers under ``"parallel" -> "results"``
+(written by ``run_parallel_bench.py``) and the refit/swap costs under
+``"lifecycle" -> "results"`` (written by ``run_lifecycle_bench.py``); the
+extra sections are reported with a ``parallel:`` / ``lifecycle:`` name
+prefix.  A fresh payload that omits an extra section entirely skips that
+comparison with a note — so a quick sequential-only measurement stays
+usable — but once both sides carry a section, a vanished or slowed entry
+fails the check like any other.
 
 Usage::
 
@@ -77,19 +79,23 @@ def compare_bench(
 
     _compare_section(baseline.get("results", {}), fresh.get("results", {}), "")
 
-    baseline_parallel = baseline.get("parallel", {}).get("results", {})
-    fresh_parallel_section = fresh.get("parallel")
-    if baseline_parallel and fresh_parallel_section is None:
-        notes.append(
-            "fresh payload has no 'parallel' section; skipping the "
-            "multi-core comparison (rerun run_parallel_bench.py to guard it)"
-        )
-    else:
-        _compare_section(
-            baseline_parallel,
-            (fresh_parallel_section or {}).get("results", {}),
-            "parallel:",
-        )
+    for section, runner in (
+        ("parallel", "run_parallel_bench.py"),
+        ("lifecycle", "run_lifecycle_bench.py"),
+    ):
+        baseline_section = baseline.get(section, {}).get("results", {})
+        fresh_section = fresh.get(section)
+        if baseline_section and fresh_section is None:
+            notes.append(
+                f"fresh payload has no {section!r} section; skipping that "
+                f"comparison (rerun {runner} to guard it)"
+            )
+        else:
+            _compare_section(
+                baseline_section,
+                (fresh_section or {}).get("results", {}),
+                f"{section}:",
+            )
     return regressions, notes
 
 
@@ -99,11 +105,13 @@ def _measure_fresh() -> dict:
     sys.path.insert(0, str(BENCH_DIR))
     try:
         import run_inference_bench
+        import run_lifecycle_bench
         import run_parallel_bench
     finally:
         sys.path.pop(0)
     payload = run_inference_bench.run_bench()
     payload["parallel"] = run_parallel_bench.run_bench()
+    payload["lifecycle"] = run_lifecycle_bench.run_bench()
     return payload
 
 

@@ -1,0 +1,199 @@
+"""Lifecycle throughput benchmark: refit latency and hot-swap stall.
+
+An online-refit deployment pays two new costs on top of scoring: the time to
+train a candidate on the clean window (refit latency — happens at most once
+per drift episode) and the time the serving loop stalls while models swap
+(every worker must be idle at the round boundary that applies a coordinated
+swap).  This benchmark measures both and records them under the
+``"lifecycle"`` key of ``BENCH_inference.json`` so
+``check_bench_trend.py`` fails the build when either regresses, exactly as
+it does for single-core inference (``results``) and the parallel layer
+(``parallel``):
+
+* ``FullRefit.refit[iforest]`` — candidate training on a ``--window``-row
+  clean buffer, reported as window rows per second (plus ``refit_latency_s``);
+* ``DetectionService.reload_detector[iforest]`` — the sequential in-process
+  swap (rolling/drift state reset included), reported as swaps per second
+  (plus ``swap_stall_s``);
+* ``coordinated_swap[thread,w=N]`` — swapping every shard service of a
+  thread-mode :class:`ShardedDetectionService` at a round boundary;
+* ``coordinated_swap[process,w=N]`` — the process-mode equivalent: publishing
+  the new epoch's snapshot the worker processes will load.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_lifecycle_bench.py \
+        [--window 4096] [--n-features 16] [--workers 4] \
+        [--output BENCH_inference.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro._version import __version__
+from repro.novelty import IsolationForest
+from repro.serve.lifecycle import FullRefit, WindowBuffer
+from repro.serve.parallel import ShardedDetectionService
+from repro.serve.service import DetectionService
+from repro.serve.snapshot import save_snapshot
+from repro.utils.timing import Timer
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_inference.json"
+
+
+def _best_time(
+    fn: Callable[[], object], n_repeats: int, *, n_inner: int = 1
+) -> float:
+    """Best per-call seconds over ``n_repeats`` timed loops of ``n_inner`` calls.
+
+    Cheap operations (an in-process swap takes microseconds) are timed in an
+    inner loop so the recorded rate averages out clock-resolution noise —
+    the trend check would otherwise flag pure jitter as a regression.
+    """
+    best = float("inf")
+    for _ in range(max(n_repeats, 1)):
+        timer = Timer()
+        with timer:
+            for _ in range(n_inner):
+                fn()
+        best = min(best, timer.total / n_inner)
+    return max(best, 1e-9)
+
+
+def run_bench(
+    *,
+    window: int = 4096,
+    n_features: int = 16,
+    n_workers: int = 4,
+    n_repeats: int = 3,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Run the lifecycle cost suite; returns the ``"lifecycle"`` payload."""
+    rng = np.random.default_rng(seed)
+    train = rng.normal(size=(2000, n_features))
+    detector = IsolationForest(
+        n_estimators=50, max_samples=256, random_state=seed
+    ).fit(train)
+    buffer = WindowBuffer(window)
+    buffer.add(rng.normal(size=(window, n_features)))
+    clean_window = buffer.values()
+    policy = FullRefit(
+        lambda: IsolationForest(n_estimators=50, max_samples=256, random_state=seed)
+    )
+    candidate = policy.refit(detector, clean_window)
+
+    results: dict[str, object] = {}
+
+    refit_s = _best_time(lambda: policy.refit(detector, clean_window), n_repeats)
+    results["FullRefit.refit[iforest]"] = {
+        "samples_per_sec": window / refit_s,
+        "refit_latency_s": refit_s,
+    }
+
+    service = DetectionService(detector, threshold="auto")
+    swap_s = _best_time(
+        lambda: service.reload_detector(candidate), n_repeats, n_inner=100
+    )
+    results["DetectionService.reload_detector[iforest]"] = {
+        "samples_per_sec": 1.0 / swap_s,
+        "swap_stall_s": swap_s,
+    }
+
+    sharded = ShardedDetectionService(
+        detector, n_workers=n_workers, mode="thread", threshold="auto"
+    )
+    sharded._shard_services = [
+        sharded._make_shard_service() for _ in range(n_workers)
+    ]
+
+    def _swap_all_threads() -> None:
+        for shard_service in sharded._shard_services:
+            shard_service.reload_detector(candidate)
+
+    thread_swap_s = _best_time(_swap_all_threads, n_repeats, n_inner=100)
+    results[f"coordinated_swap[thread,w={n_workers}]"] = {
+        "samples_per_sec": 1.0 / thread_swap_s,
+        "swap_stall_s": thread_swap_s,
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-lifecycle-bench-") as tmp:
+        epoch = [0]
+
+        def _publish_epoch_snapshot() -> None:
+            epoch[0] += 1
+            save_snapshot(candidate, Path(tmp) / f"model_e{epoch[0]}")
+
+        process_swap_s = _best_time(_publish_epoch_snapshot, n_repeats)
+    results[f"coordinated_swap[process,w={n_workers}]"] = {
+        "samples_per_sec": 1.0 / process_swap_s,
+        "swap_stall_s": process_swap_s,
+    }
+
+    return {
+        "benchmark": "lifecycle_costs",
+        "version": __version__,
+        "config": {
+            "window": window,
+            "n_features": n_features,
+            "n_workers": n_workers,
+            "n_repeats": n_repeats,
+            "seed": seed,
+        },
+        "results": results,
+    }
+
+
+def write_report(payload: dict[str, object], output: Path = DEFAULT_OUTPUT) -> Path:
+    """Merge the lifecycle payload into the benchmark file's ``lifecycle`` key.
+
+    The ``results`` and ``parallel`` sections are left untouched, so any of
+    the three benchmarks can be refreshed independently.
+    """
+    output = Path(output)
+    document: dict[str, object] = {}
+    if output.exists():
+        document = json.loads(output.read_text())
+    document["lifecycle"] = payload
+    output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return output
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--window", type=int, default=4096)
+    parser.add_argument("--n-features", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--n-repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    if min(args.window, args.n_features, args.workers, args.n_repeats) < 1:
+        parser.error("--window, --n-features, --workers, --n-repeats must be >= 1")
+    payload = run_bench(
+        window=args.window,
+        n_features=args.n_features,
+        n_workers=args.workers,
+        n_repeats=args.n_repeats,
+        seed=args.seed,
+    )
+    path = write_report(payload, args.output)
+    for name, entry in payload["results"].items():
+        line = f"{name:50s} {entry['samples_per_sec']:>12.0f} /s"
+        if "refit_latency_s" in entry:
+            line += f"  (refit {1e3 * entry['refit_latency_s']:.1f} ms)"
+        if "swap_stall_s" in entry:
+            line += f"  (stall {1e3 * entry['swap_stall_s']:.2f} ms)"
+        print(line)
+    print(f"[lifecycle section written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

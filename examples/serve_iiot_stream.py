@@ -7,14 +7,18 @@ The deployment story of the paper, end to end:
 2. publish the fused model to an on-disk **model registry** (versioned,
    pickle-free snapshots) and load it back — the scores survive the round
    trip bit for bit,
-3. run a **DetectionService** over a drifting ``FlowStream``: micro-batched
-   scoring with bounded memory, a rolling alert threshold, structured alert
-   events, and a **drift monitor** that notices the injected covariate shift
-   and hot-swaps the registry model when it fires,
+3. run a **DetectionService** over a drifting ``FlowStream`` with a full
+   **model lifecycle**: micro-batched scoring with bounded memory, a rolling
+   alert threshold, a **drift monitor**, and a **LifecycleManager** that —
+   when drift fires — refits the fused model on the clean recent window
+   buffered from the stream itself, gates the candidate's quality,
+   republishes it to the registry as a new version, and hot-swaps it in,
 4. with ``--workers N`` (N > 1), serve the same stream through a
-   **ShardedDetectionService** instead: batches fan out round-robin to N
-   workers and alerts/drift events re-merge in global stream order (scores
-   stay bit-identical to the sequential service).
+   **ShardedDetectionService** instead: batches fan out to N workers, alerts
+   and drift events re-merge in global stream order, per-shard drift
+   monitors *vote*, and on quorum the parent refits once and swaps every
+   worker at a round boundary (each batch is tagged with the model epoch
+   that scored it).
 
 Run with::
 
@@ -36,17 +40,30 @@ from repro.serve import (
     DetectionService,
     DriftEvent,
     DriftMonitor,
+    FullRefit,
     FusionDetector,
+    LifecycleManager,
     ListSink,
     ModelRegistry,
     ShardedDetectionService,
-    make_registry_reload,
+    WindowBuffer,
 )
 
 
 def make_drift_monitor() -> DriftMonitor:
     """Per-shard monitor factory (module-level so process workers can pickle it)."""
     return DriftMonitor(window=1024, threshold=0.5, min_samples=512)
+
+
+def make_fused_detector(seed: int) -> FusionDetector:
+    """Fresh unfitted fusion ensemble; doubles as the FullRefit factory."""
+    return FusionDetector(
+        [
+            IsolationForest(n_estimators=50, random_state=seed),
+            KNNDetector(n_neighbors=10, random_state=seed),
+        ],
+        combine="pcr",
+    )
 
 
 def parse_args() -> argparse.Namespace:
@@ -59,7 +76,9 @@ def parse_args() -> argparse.Namespace:
                         help="registry directory (default: a temporary directory)")
     parser.add_argument("--workers", type=int, default=1,
                         help="shard the stream across this many workers "
-                        "(1 = sequential service with drift-triggered reloads)")
+                        "(drift-triggered refits are coordinated either way)")
+    parser.add_argument("--refit-window", type=int, default=2048,
+                        help="clean-window buffer capacity refits train on")
     parser.add_argument("--seed", type=int, default=0)
     # accepted for interface parity with the other examples' smoke tests
     parser.add_argument("--experiences", type=int, default=None, help=argparse.SUPPRESS)
@@ -77,13 +96,7 @@ def main() -> None:
     )
 
     # 1. Fit two heterogeneous detectors and fuse their normalized scores.
-    fused = FusionDetector(
-        [
-            IsolationForest(n_estimators=50, random_state=args.seed),
-            KNNDetector(n_neighbors=10, random_state=args.seed),
-        ],
-        combine="pcr",
-    ).fit(normal)
+    fused = make_fused_detector(args.seed).fit(normal)
 
     # 2. Publish to a registry and serve the *loaded* snapshot.
     registry_dir = args.registry or tempfile.mkdtemp(prefix="repro-registry-")
@@ -96,11 +109,21 @@ def main() -> None:
     assert np.array_equal(served.score_samples(check), fused.score_samples(check))
     print(f"published + reloaded {info.name} v{info.version} (scores bit-identical)")
 
-    # 3. Serve a drifting stream with rolling thresholds and drift reloads.
-    # No explicit reference: the monitor calibrates itself on the first
-    # min_samples streamed flows (normal operating traffic, baseline attack
-    # level included) and flags when the stream later departs from that.
+    # 3. Serve a drifting stream with rolling thresholds and a full lifecycle:
+    # clean below-threshold rows feed a bounded window buffer; when drift
+    # fires, a fresh fusion ensemble is refit on that window, quality-gated,
+    # republished (v2, v3, ...) and hot-swapped into the service.  No
+    # explicit drift reference: the monitor calibrates itself on the first
+    # min_samples streamed flows and flags when the stream departs from that.
     sink = ListSink()
+    lifecycle = LifecycleManager(
+        FullRefit(lambda: make_fused_detector(args.seed)),
+        buffer=WindowBuffer(args.refit_window),
+        registry=registry,
+        model_name=info.name,
+        min_refit_rows=512,
+        serving_version=info.version,
+    )
     if args.workers > 1:
         service = ShardedDetectionService(
             served,
@@ -108,17 +131,18 @@ def main() -> None:
             threshold="rolling",
             rolling_quantile=0.95,
             drift_monitor_factory=make_drift_monitor,
+            lifecycle=lifecycle,
+            quorum=0.5,
             sinks=[sink],
         )
     else:
-        monitor = make_drift_monitor()
         service = DetectionService(
             served,
             threshold="rolling",
             rolling_quantile=0.95,
-            drift_monitor=monitor,
+            drift_monitor=make_drift_monitor(),
             sinks=[sink],
-            on_drift=make_registry_reload(registry, info.name),
+            lifecycle=lifecycle,
         )
     stream = FlowStream(
         dataset,
@@ -130,7 +154,7 @@ def main() -> None:
         print(
             f"\nserving {stream.n_batches} batches of {args.batch_size} flows "
             f"across {args.workers} {service.resolved_mode()} workers "
-            f"(drift strength {args.drift_strength}) ...\n"
+            f"(drift strength {args.drift_strength}, swap quorum 50%) ...\n"
         )
     else:
         print(
@@ -141,20 +165,31 @@ def main() -> None:
     print(report.summary())
 
     drift_events = [event for event in sink.events if isinstance(event, DriftEvent)]
-    reacted = (
-        f"reloaded {info.name} from registry"
-        if args.workers == 1
-        else "flagged to operator (sharded mode does not hot-swap)"
-    )
     for event in drift_events:
         print(
             f"  drift @ batch {event.batch_index}: score shift "
             f"{event.report.score_shift:.2f}σ, feature shift "
-            f"{event.report.feature_shift:.2f}σ -> {reacted}"
+            f"{event.report.feature_shift:.2f}σ"
         )
+    for event in lifecycle.events:
+        outcome = "hot-swapped" if event.swapped else "kept current model"
+        version = (
+            f" as v{event.published_version}"
+            if event.published_version is not None
+            else ""
+        )
+        print(
+            f"  lifecycle: {event.action} on {event.n_window_rows} clean rows"
+            f"{version} -> {outcome} (epoch {event.epoch})"
+        )
+    if not lifecycle.events:
+        print("  lifecycle: no drift fired; model unchanged")
     alert_rate = report.n_alerts / max(report.n_samples, 1)
     print(f"\nalert rate: {alert_rate:.1%} of flows (rolling 95% threshold)")
-    print(f"registry at {registry_dir}: {registry.models()}")
+    print(
+        f"registry at {registry_dir}: "
+        f"{ {name: registry.versions(name) for name in registry.models()} }"
+    )
 
 
 if __name__ == "__main__":

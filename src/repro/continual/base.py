@@ -55,6 +55,16 @@ class ContinualMethod:
             f"{type(self).__name__} does not expose anomaly scores"
         )
 
+    def update(self, X: np.ndarray) -> None:
+        """Online update entry point used by the serving lifecycle layer.
+
+        :class:`repro.serve.lifecycle.ContinualRefit` calls this with the
+        clean recent window of a drifting stream; the default treats the
+        window as one unlabeled experience.  Methods with a cheaper
+        incremental path than :meth:`fit_experience` can override it.
+        """
+        self.fit_experience(np.asarray(X, dtype=np.float64))
+
     @property
     def name(self) -> str:
         """Human-readable method name used in experiment reports."""

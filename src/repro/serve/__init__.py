@@ -17,14 +17,30 @@ fitted detector into something that can be *deployed*:
 * :mod:`repro.serve.fusion` — score-level fusion of several detectors
   (mean / max / conflict-aware PCR-style weighting) served as one model,
 * :mod:`repro.serve.parallel` — :class:`ShardedDetectionService`, fanning a
-  stream out to thread/process workers with deterministic round-robin
-  sharding and a global-order merge of alerts and drift events,
+  stream out to thread/process workers with deterministic (round-robin or
+  greedy least-loaded) sharding, a global-order merge of alerts and drift
+  events, and an epoch-tagged coordinated hot-swap on drift quorum,
+* :mod:`repro.serve.lifecycle` — :class:`LifecycleManager` and friends: the
+  online *drift → refit → gate → publish → swap* loop (clean-window
+  buffering, Full/Continual/NoRefit policies, quality gate),
 * :mod:`repro.serve.sinks` — pluggable alert sinks (in-memory, JSONL,
   callback).
 """
 
 from repro.serve.drift import DriftMonitor, DriftReport
 from repro.serve.fusion import FusionDetector
+from repro.serve.lifecycle import (
+    ContinualRefit,
+    FullRefit,
+    GateResult,
+    LifecycleEvent,
+    LifecycleManager,
+    NoRefit,
+    QualityGate,
+    RefitPolicy,
+    WindowBuffer,
+    clone_model,
+)
 from repro.serve.parallel import ShardedDetectionService
 from repro.serve.registry import ModelRegistry, SnapshotInfo
 from repro.serve.service import (
@@ -49,19 +65,29 @@ __all__ = [
     "AlertSink",
     "BatchResult",
     "CallbackSink",
+    "ContinualRefit",
     "DetectionService",
     "DriftEvent",
     "DriftMonitor",
     "DriftReport",
+    "FullRefit",
     "FusionDetector",
+    "GateResult",
     "JsonlSink",
+    "LifecycleEvent",
+    "LifecycleManager",
     "ListSink",
     "ModelRegistry",
+    "NoRefit",
+    "QualityGate",
+    "RefitPolicy",
     "ServiceReport",
     "ShardedDetectionService",
     "SnapshotError",
     "SnapshotInfo",
     "SNAPSHOT_FORMAT_VERSION",
+    "WindowBuffer",
+    "clone_model",
     "load_snapshot",
     "make_registry_reload",
     "read_manifest",

@@ -14,9 +14,18 @@ Usage examples::
     repro serve --dataset wustl_iiot --detector knn --registry ./models --publish
     repro serve --dataset wustl_iiot --registry ./models --model knn-wustl_iiot
 
-    # inspect / pin registry contents
+    # online refit: on drift, refit from the clean recent window, gate,
+    # republish and hot-swap (works sharded too: workers vote, the parent
+    # swaps everyone at a round boundary once the quorum is reached)
+    repro serve --dataset wustl_iiot --detector iforest --threshold rolling \
+        --registry ./models --publish --refit full --refit-window 4096
+    repro serve --dataset wustl_iiot --detector iforest --threshold rolling \
+        --registry ./models --publish --refit full --workers 4 --quorum 0.5
+
+    # inspect / pin / prune registry contents
     repro registry list --registry ./models
     repro registry pin knn-wustl_iiot 1 --registry ./models
+    repro registry gc --keep 3 --registry ./models
 
 (``repro`` is the console script registered in ``pyproject.toml``; the same
 commands work as ``python -m repro.experiments.cli ...``.)
@@ -44,6 +53,12 @@ from repro.novelty import (
 )
 from repro.serve.drift import DriftMonitor
 from repro.serve.fusion import FusionDetector
+from repro.serve.lifecycle import (
+    ContinualRefit,
+    FullRefit,
+    LifecycleManager,
+    WindowBuffer,
+)
 from repro.serve.parallel import ShardedDetectionService
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import DetectionService, make_registry_reload
@@ -102,6 +117,29 @@ def _parser() -> argparse.ArgumentParser:
         "native kernels are available, processes otherwise)",
     )
     serve.add_argument(
+        "--shard-mode", choices=["round_robin", "greedy"], default="round_robin",
+        help="batch-to-worker assignment with --workers > 1: strict "
+        "round-robin, or greedy least-loaded (deterministic; better balance "
+        "for ragged batch sizes)",
+    )
+    serve.add_argument(
+        "--refit", choices=["off", "full", "continual"], default="off",
+        help="online refit on drift: 'full' refits the detector from scratch "
+        "on the clean recent window, 'continual' routes the window through "
+        "the model's continual update path; candidates must pass a quality "
+        "gate, are republished to --registry when given, and hot-swap the "
+        "served model (coordinated across --workers at a round boundary)",
+    )
+    serve.add_argument(
+        "--refit-window", type=int, default=4096,
+        help="capacity of the clean-window buffer refits are trained on",
+    )
+    serve.add_argument(
+        "--quorum", type=float, default=0.5,
+        help="with --workers > 1 and --refit: fraction of workers whose "
+        "drift monitors must vote before the parent coordinates a swap",
+    )
+    serve.add_argument(
         "--drift-strength", type=float, default=2.0,
         help="covariate drift injected over the stream (0 disables)",
     )
@@ -129,11 +167,16 @@ def _parser() -> argparse.ArgumentParser:
         "--alerts", type=Path, default=None, help="write alerts/drift events as JSONL"
     )
 
-    registry = sub.add_parser("registry", help="inspect or pin registry contents")
-    registry.add_argument("action", choices=["list", "show", "pin", "unpin"])
+    registry = sub.add_parser("registry", help="inspect, pin or prune registry contents")
+    registry.add_argument("action", choices=["list", "show", "pin", "unpin", "gc"])
     registry.add_argument("name", nargs="?", default=None)
     registry.add_argument("version", nargs="?", default=None)
     registry.add_argument("--registry", type=Path, required=True)
+    registry.add_argument(
+        "--keep", type=int, default=3,
+        help="registry gc: newest versions kept per model (pinned versions "
+        "always survive)",
+    )
     return parser
 
 
@@ -154,12 +197,15 @@ def _run_serve(args: argparse.Namespace) -> int:
     registry = ModelRegistry(args.registry) if args.registry is not None else None
 
     reload_selector: tuple[str, str | None] | None = None
+    serving_version: int | None = None
     if args.model is not None:
         if registry is None:
             raise SystemExit("--model requires --registry")
         name, version = _split_model_selector(args.model)
+        resolved = registry.resolve(name, version)
         detector = registry.load(name, version)
         reload_selector = (name, version)
+        serving_version = resolved.version
         print(f"serving {name}@{version or 'default'} from {registry.root}")
     else:
         detector = DETECTOR_FACTORIES[args.detector]()
@@ -172,6 +218,7 @@ def _run_serve(args: argparse.Namespace) -> int:
                 metadata={"dataset": dataset.name, "scale": args.scale},
             )
             reload_selector = (info.name, None)
+            serving_version = info.version
             print(f"published {info.name} v{info.version} to {registry.root}")
 
     try:
@@ -184,28 +231,79 @@ def _run_serve(args: argparse.Namespace) -> int:
     sinks = [JsonlSink(args.alerts)] if args.alerts is not None else []
     ref_scores = detector.score_samples(normal)
 
+    lifecycle = None
+    if args.refit != "off":
+        if args.reload_on_drift:
+            raise SystemExit(
+                "--refit and --reload-on-drift are mutually exclusive "
+                "(--refit already falls back to a registry reload)"
+            )
+        if args.refit == "continual" and not (
+            hasattr(detector, "update") or hasattr(detector, "fit_experience")
+        ):
+            raise SystemExit(
+                "--refit continual requires a continual method with an "
+                "update()/fit_experience() path; the built-in CLI detectors "
+                "are static novelty detectors (use --refit full)"
+            )
+        if args.refit == "full":
+            # A locally fitted detector refits via its factory; a registry
+            # model's hyper-parameters survive the snapshot clone instead.
+            # Validate the clone path eagerly — failing at the first drift
+            # event, mid-stream, would lose the accumulated serving state.
+            if args.model is not None and not hasattr(detector, "fit"):
+                raise SystemExit(
+                    f"--refit full requires a model with fit(); the registry "
+                    f"model is a {type(detector).__name__} without one "
+                    "(use --refit continual)"
+                )
+            factory = DETECTOR_FACTORIES[args.detector] if args.model is None else None
+            policy: FullRefit | ContinualRefit = FullRefit(factory)
+        else:
+            policy = ContinualRefit()
+        model_name = None
+        if registry is not None:
+            model_name = (
+                reload_selector[0]
+                if reload_selector is not None
+                else f"{args.detector}-{dataset.name}"
+            )
+        lifecycle = LifecycleManager(
+            policy,
+            buffer=WindowBuffer(args.refit_window),
+            registry=registry,
+            model_name=model_name,
+            serving_version=serving_version,
+            sinks=sinks,
+        )
+        republish = "republishing" if registry is not None else "not republishing"
+        print(f"online refit on drift: policy={args.refit}, "
+              f"window={args.refit_window} rows, {republish}")
+
     if args.workers > 1:
         if args.reload_on_drift:
             raise SystemExit(
-                "--reload-on-drift requires the sequential service (--workers 1): "
-                "hot-swapping one registry model across shard workers is not "
-                "coordinated"
+                "--reload-on-drift requires the sequential service (--workers 1); "
+                "use --refit for the coordinated swap across workers"
             )
         service: DetectionService | ShardedDetectionService = ShardedDetectionService(
             detector,
             n_workers=args.workers,
             mode=args.worker_mode,
+            shard_mode=args.shard_mode,
             threshold=threshold,
             rolling_quantile=args.rolling_quantile,
             micro_batch_size=args.micro_batch_size,
             drift_monitor_factory=functools.partial(
                 _make_drift_monitor, ref_scores, normal
             ),
+            lifecycle=lifecycle,
+            quorum=args.quorum,
             sinks=sinks,
         )
         print(
             f"sharding across {args.workers} {service.resolved_mode()} workers "
-            "(round-robin batches, global-order merge)"
+            f"({args.shard_mode} batches, global-order merge)"
         )
     else:
         monitor = DriftMonitor()
@@ -228,6 +326,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             drift_monitor=monitor,
             sinks=sinks,
             on_drift=on_drift,
+            lifecycle=lifecycle,
         )
     stream = FlowStream(
         dataset,
@@ -237,6 +336,21 @@ def _run_serve(args: argparse.Namespace) -> int:
     )
     report = service.run(stream)
     print(report.summary())
+    if lifecycle is not None:
+        for event in lifecycle.events:
+            outcome = "swapped" if event.swapped else "kept current model"
+            version = (
+                f", published v{event.published_version}"
+                if event.published_version is not None
+                else ""
+            )
+            reason = f" ({event.reason})" if event.reason else ""
+            print(
+                f"lifecycle: {event.action} on {event.n_window_rows} clean "
+                f"rows -> {outcome} (epoch {event.epoch}{version}){reason}"
+            )
+        if not lifecycle.events:
+            print("lifecycle: no drift fired; model unchanged")
     if args.alerts is not None:
         print(f"events written to {args.alerts}")
     return 0
@@ -244,6 +358,19 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 def _run_registry(args: argparse.Namespace) -> int:
     registry = ModelRegistry(args.registry)
+    if args.action == "gc":
+        if args.version is not None:
+            raise SystemExit(
+                "registry gc takes no version argument; use --keep N to "
+                "choose how many newest versions survive"
+            )
+        deleted = registry.gc(args.name, keep=args.keep)
+        for info in deleted:
+            print(f"deleted {info.name} v{info.version}")
+        scope = args.name if args.name is not None else "all models"
+        print(f"gc kept the newest {args.keep} version(s) of {scope} "
+              f"({len(deleted)} deleted)")
+        return 0
     if args.action == "list":
         for name in registry.models():
             versions = registry.versions(name)

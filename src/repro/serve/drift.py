@@ -144,22 +144,33 @@ class DriftMonitor:
             self._feature_ref = (X.mean(axis=0), std)
         return self
 
-    def reset(self, *, clear_score_reference: bool = False) -> None:
+    def reset(
+        self, *, clear_score_reference: bool = False, rebootstrap: bool = False
+    ) -> None:
         """Clear the rolling windows and cooldown.
 
-        The reference is kept by default.  Pass ``clear_score_reference=True``
-        when the *model* behind the scores changed (e.g. a drift-triggered
-        reload): the old model's score mean/std says nothing about the new
-        model's scale, so the score reference re-bootstraps from the next
-        ``min_samples`` streamed scores.  The feature reference describes the
-        data, not the model, and is always kept.
+        The references are kept by default.  Pass ``clear_score_reference=True``
+        when the *model* behind the scores changed: the old model's score
+        mean/std says nothing about the new model's scale, so the score
+        reference re-bootstraps from the next ``min_samples`` streamed scores.
+
+        Pass ``rebootstrap=True`` from a hot-swap path (drift-triggered
+        reload or online refit): it additionally clears the *feature*
+        reference.  A refitted model was trained on the post-drift window, so
+        the pre-swap feature reference no longer describes the traffic the
+        new model considers normal — keeping it would re-flag the (still
+        shifted, now expected) features immediately after every swap and
+        trap the service in a refit loop.  Both references re-bootstrap from
+        the next ``min_samples`` streamed samples.
         """
         self._scores = None
         self._features = None
         self._n_seen = 0
         self._cooldown_left = 0
-        if clear_score_reference:
+        if clear_score_reference or rebootstrap:
             self._score_ref = None
+        if rebootstrap:
+            self._feature_ref = None
 
     # -- streaming -------------------------------------------------------------
     def update(self, scores: np.ndarray, X: np.ndarray | None = None) -> DriftReport:

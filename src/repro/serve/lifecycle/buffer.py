@@ -1,0 +1,124 @@
+"""Bounded reservoir of recent clean-looking stream rows (refit data source).
+
+The lifecycle layer refits models *from the stream itself*: after drift is
+flagged, the candidate model is trained on the most recent window of rows the
+service judged non-anomalous.  :class:`WindowBuffer` retains exactly that
+window with bounded memory — a ring over the last ``capacity`` rows that were
+
+* **below the active alert threshold** when they were scored (an anomaly the
+  service flagged must never become refit data), and
+* **not part of the batch that fired the drift monitor** (the acute
+  transition is skipped wholesale by the caller; the cooldown batches that
+  follow are admitted so a persistent shift can still fill the window — see
+  :meth:`~repro.serve.lifecycle.manager.LifecycleManager.observe_batch`).
+
+With a ``"rolling"`` service threshold the buffer therefore tracks the
+*typical recent traffic* even while the distribution drifts — which is what
+makes refit-from-stream recover from covariate shift: by the time the drift
+monitor fires, the window is dominated by post-shift benign rows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.serve.drift import _RingBuffer
+
+__all__ = ["WindowBuffer"]
+
+
+class WindowBuffer:
+    """Keep the most recent ``capacity`` clean rows of a stream.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of rows retained; older rows are overwritten ring-wise.
+
+    Attributes
+    ----------
+    n_added_:
+        Total rows ever accepted (monotonic; ``count`` saturates at capacity).
+    n_rejected_:
+        Total rows offered via :meth:`add_clean` but filtered out as
+        above-threshold.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._ring: _RingBuffer | None = None
+        self.n_added_ = 0
+        self.n_rejected_ = 0
+
+    @property
+    def count(self) -> int:
+        """Rows currently held (at most ``capacity``)."""
+        return self._ring.count if self._ring is not None else 0
+
+    @property
+    def n_features(self) -> int | None:
+        """Feature width of the buffered rows (``None`` before the first add)."""
+        if self._ring is None:
+            return None
+        return int(self._ring.values().shape[1])
+
+    def add(self, X: np.ndarray) -> int:
+        """Fold rows into the ring unconditionally; returns the rows added."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"buffered rows must be 2-D, got shape {X.shape}")
+        if X.shape[0] == 0:
+            return 0
+        if self._ring is None:
+            self._ring = _RingBuffer(self.capacity, X.shape[1])
+        elif X.shape[1] != self._ring.values().shape[1]:
+            raise ValueError(
+                f"buffered rows have {X.shape[1]} features, "
+                f"buffer started with {self._ring.values().shape[1]}"
+            )
+        self._ring.extend(X)
+        self.n_added_ += int(X.shape[0])
+        return int(X.shape[0])
+
+    def add_clean(
+        self, X: np.ndarray, scores: np.ndarray, threshold: float
+    ) -> int:
+        """Fold in only the rows scored at or below ``threshold``.
+
+        A ``nan`` threshold (the service's marker for an empty batch) accepts
+        nothing.  Returns the number of rows that entered the buffer.
+        """
+        if threshold is None or math.isnan(threshold):
+            return 0
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        X = np.asarray(X, dtype=np.float64)
+        if scores.shape[0] != X.shape[0]:
+            raise ValueError(
+                f"{scores.shape[0]} scores for {X.shape[0]} rows"
+            )
+        mask = scores <= threshold
+        self.n_rejected_ += int(X.shape[0] - np.count_nonzero(mask))
+        if not mask.any():
+            return 0
+        return self.add(X[mask])
+
+    def values(self) -> np.ndarray:
+        """The buffered rows as one ``(count, n_features)`` array.
+
+        Row order within the window is not meaningful (ring storage); refit
+        consumers treat the window as an i.i.d. sample of recent clean
+        traffic.  Returns an empty ``(0, 0)`` array before the first add.
+        """
+        if self._ring is None:
+            return np.empty((0, 0))
+        return self._ring.values().copy()
+
+    def clear(self) -> None:
+        """Drop every buffered row (the feature-width contract is kept)."""
+        if self._ring is not None:
+            width = self._ring.values().shape[1]
+            self._ring = _RingBuffer(self.capacity, width)

@@ -1,0 +1,142 @@
+"""Quality gate: score-distribution sanity checks before a candidate ships.
+
+An online refit must never make serving *worse* than the model it replaces —
+a candidate trained on a polluted or too-small window can emit NaNs, collapse
+to a constant score, or flag most of the clean traffic it was just trained
+on.  :class:`QualityGate` scores the candidate on the reference window (the
+same clean rows it was refit from, i.e. the best available stand-in for
+current benign traffic) and rejects it unless the distribution is sane:
+
+* every score is finite,
+* the scores are not (numerically) constant — a constant scorer cannot rank,
+* the alert rate on the clean window, judged by the candidate's own default
+  threshold, stays at or below ``max_clean_alert_rate``.
+
+When the candidate exposes no fitted ``threshold_`` (continual methods
+served with rolling thresholds), judging its scores against a quantile of
+those *same* scores would be vacuous — the alert rate would equal
+``1 - fallback_quantile`` by construction, for any scorer.  The gate
+therefore splits the window: the threshold comes from the first half's
+scores, the alert rate is measured on the second half.  For a sane scorer
+the halves are exchangeable clean traffic and the rate stays near
+``1 - fallback_quantile``; a scorer whose scale wanders across the window
+(a degraded continual update drifting mid-stream) blows past the cap and is
+rejected.
+
+A rejected candidate is simply dropped; the lifecycle manager keeps serving
+the current model (or falls back to a registry reload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.metrics.thresholds import quantile_threshold
+
+__all__ = ["GateResult", "QualityGate"]
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one :meth:`QualityGate.evaluate` call."""
+
+    passed: bool
+    reason: str | None = None
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"passed": self.passed, "reason": self.reason, "stats": dict(self.stats)}
+
+
+@dataclass
+class QualityGate:
+    """Reject refit candidates whose clean-window score distribution is off.
+
+    Parameters
+    ----------
+    max_clean_alert_rate:
+        Maximum fraction of the reference window the candidate may flag with
+        its own default threshold.  A freshly fitted detector with threshold
+        quantile ``q`` flags about ``1 - q`` of its training data, so the
+        default (0.25) leaves generous headroom while still catching a
+        candidate that considers ordinary traffic anomalous.
+    min_score_std:
+        Minimum standard deviation of the reference-window scores; at or
+        below it the candidate is treated as a constant (useless) scorer.
+    fallback_quantile:
+        Threshold quantile used when the candidate exposes no fitted
+        ``threshold_`` (e.g. continual methods served with rolling
+        thresholds); computed on the first half of the window and judged on
+        the second, so the check stays discriminative (see module
+        docstring).
+    """
+
+    max_clean_alert_rate: float = 0.25
+    min_score_std: float = 1e-12
+    fallback_quantile: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_clean_alert_rate <= 1.0:
+            raise ValueError("max_clean_alert_rate must be in (0, 1]")
+        if self.min_score_std < 0.0:
+            raise ValueError("min_score_std must be non-negative")
+        if not 0.0 < self.fallback_quantile < 1.0:
+            raise ValueError("fallback_quantile must be strictly between 0 and 1")
+
+    def evaluate(self, candidate: Any, X_reference: np.ndarray) -> GateResult:
+        """Score ``candidate`` on the reference window and judge the result."""
+        X_reference = np.asarray(X_reference, dtype=np.float64)
+        if X_reference.ndim != 2 or X_reference.shape[0] < 2:
+            return GateResult(False, "reference window has fewer than 2 rows")
+        scores = np.asarray(
+            candidate.score_samples(X_reference), dtype=np.float64
+        ).ravel()
+        if scores.shape[0] != X_reference.shape[0]:
+            return GateResult(
+                False,
+                f"candidate returned {scores.shape[0]} scores for "
+                f"{X_reference.shape[0]} reference rows",
+            )
+        if not np.isfinite(scores).all():
+            n_bad = int(np.count_nonzero(~np.isfinite(scores)))
+            return GateResult(
+                False, f"{n_bad} non-finite score(s) on the reference window"
+            )
+        std = float(scores.std())
+        if std <= self.min_score_std:
+            return GateResult(
+                False,
+                f"reference-window score std {std:.3g} <= {self.min_score_std:.3g} "
+                "(constant scorer)",
+                {"score_std": std},
+            )
+        threshold = getattr(candidate, "threshold_", None)
+        if threshold is not None:
+            alert_rate = float(np.mean(scores > float(threshold)))
+            threshold_source = "candidate"
+        else:
+            # Holdout split: threshold from the first half, rate on the
+            # second — a self-quantile over the full window would pin the
+            # rate at 1 - fallback_quantile for *any* scorer.
+            half = scores.shape[0] // 2
+            threshold = quantile_threshold(scores[:half], self.fallback_quantile)
+            alert_rate = float(np.mean(scores[half:] > float(threshold)))
+            threshold_source = "holdout_quantile"
+        stats = {
+            "score_mean": float(scores.mean()),
+            "score_std": std,
+            "clean_alert_rate": alert_rate,
+            "threshold": float(threshold),
+            "threshold_source": threshold_source,
+        }
+        if alert_rate > self.max_clean_alert_rate:
+            return GateResult(
+                False,
+                f"candidate flags {alert_rate:.1%} of the clean window "
+                f"(limit {self.max_clean_alert_rate:.1%})",
+                stats,
+            )
+        return GateResult(True, None, stats)

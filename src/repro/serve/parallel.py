@@ -9,9 +9,11 @@ them changes *where* a batch is scored, never *what* its scores are.
 
 Determinism contract
 --------------------
-* **Shard assignment is round-robin by global batch index** — batch ``g``
-  always goes to worker ``g % n_workers``, independent of timing, so a rerun
-  shards identically.
+* **Shard assignment is deterministic** — round-robin by global batch index
+  (batch ``g`` goes to worker ``g % n_workers``) by default, or the opt-in
+  ``shard_mode="greedy"`` least-loaded assignment, which depends only on the
+  batch sizes seen so far, never on timing — either way a rerun shards
+  identically.
 * **Scores are bit-identical to the sequential service**: each batch is
   scored by the same micro-batched code path against the same model.
 * **Alerts and drift events are re-serialized into global stream order**
@@ -19,34 +21,48 @@ Determinism contract
   fixed or ``"auto"`` threshold the merged alert stream is *identical* to the
   sequential service's.
 * **Rolling thresholds are per shard**: each worker's rolling window sees
-  only its own shard (1 of every ``n_workers`` batches), so ``"rolling"``
-  thresholds track the same distribution but are not batch-for-batch
-  identical to a single sequential window.  Use a fixed or ``"auto"``
-  threshold when exact sequential equivalence matters.
+  only its own shard, so ``"rolling"`` thresholds track the same distribution
+  but are not batch-for-batch identical to a single sequential window.  Use a
+  fixed or ``"auto"`` threshold when exact sequential equivalence matters.
+
+Coordinated hot-swap (epoch-tagged)
+-----------------------------------
+With a :class:`~repro.serve.lifecycle.LifecycleManager` (``lifecycle=``), the
+sharded service closes the drift loop that per-shard monitors alone cannot:
+each worker's monitor only *votes*.  The parent collects votes (one per
+shard) while merging; when at least ``quorum * n_workers`` distinct shards
+have voted since the last swap, the parent — at the next **round boundary**,
+with every worker idle — refits once from its clean-window buffer, gates,
+publishes, and swaps all workers to the new model.  Swaps only ever happen
+between rounds, so within any round every shard scores with the same model
+epoch (:attr:`BatchResult.model_epoch`), in thread *and* process modes.
 
 Worker modes
 ------------
 ``mode="thread"`` shares the fitted detector across worker threads
 (scoring is read-only; NumPy and the native kernels release the GIL, so
-native-kernel detectors scale well) and consumes the stream lazily in
-bounded *rounds*.  ``mode="process"`` snapshots the detector once
-(:func:`~repro.serve.snapshot.save_snapshot`), loads it in each worker
-process, and materializes the stream up front — higher overhead and memory,
-but unaffected by the GIL for pure-Python scoring.  ``mode="auto"`` picks
-threads when the native kernels are available and processes otherwise.
+native-kernel detectors scale well).  ``mode="process"`` snapshots the
+detector (:func:`~repro.serve.snapshot.save_snapshot`) and loads it inside
+each worker process (cached per epoch), shipping each shard's rolling/drift
+state to and from the workers every round — higher overhead, but unaffected
+by the GIL for pure-Python scoring.  Both modes consume the stream lazily in
+bounded *rounds* of ``n_workers * batches_per_round`` batches.  ``mode="auto"``
+picks threads when the native kernels are available and processes otherwise.
 """
 
 from __future__ import annotations
 
+import math
 import tempfile
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.ml import native
-from repro.serve.drift import DriftMonitor
+from repro.serve.drift import DriftMonitor, _RingBuffer
 from repro.serve.service import (
     Alert,
     BatchResult,
@@ -60,22 +76,59 @@ from repro.utils.timing import Timer
 
 __all__ = ["ShardedDetectionService"]
 
+_SHARD_MODES = ("round_robin", "greedy")
 
-def _score_shard_in_subprocess(
-    snapshot_path: str,
-    service_kwargs: dict,
-    drift_monitor_factory: Callable[[], DriftMonitor] | None,
-    items: list[tuple[int, np.ndarray]],
-) -> list[tuple[int, BatchResult]]:
-    """Worker-process entry point: load the snapshot, score one whole shard.
 
-    Module-level so it pickles; returns ``(global_batch_index, BatchResult)``
-    pairs (all dataclasses of arrays/floats — cheap to pickle back).
+@dataclass
+class _ShardState:
+    """Per-shard serving state shipped to/from process workers every round.
+
+    The monitor carries drift windows, references and cooldown; ``rolling``
+    is the shard's rolling-threshold window (``None`` = start fresh, which is
+    also how a coordinated swap resets it).  Both pickle cheaply.
     """
-    detector = load_snapshot(snapshot_path)
-    monitor = drift_monitor_factory() if drift_monitor_factory is not None else None
-    service = DetectionService(detector, drift_monitor=monitor, **service_kwargs)
-    return [(g, service.process_batch(X)) for g, X in items]
+
+    monitor: DriftMonitor | None = None
+    rolling: _RingBuffer | None = None
+
+
+#: Per-process model cache: (snapshot_path, model).  A coordinated swap
+#: publishes a *new* snapshot path, so comparing paths doubles as the epoch
+#: check; only the latest model is retained per worker process.
+_WORKER_MODEL: tuple[str, Any] | None = None
+
+
+def _score_round_in_subprocess(
+    snapshot_path: str,
+    epoch: int,
+    service_kwargs: dict,
+    state: _ShardState,
+    items: list[tuple[int, np.ndarray]],
+) -> tuple[list[tuple[int, BatchResult]], _ShardState]:
+    """Worker-process entry point: score one shard's slice of one round.
+
+    Module-level so it pickles.  Loads the snapshot once per (process, path)
+    and rebuilds the shard's :class:`DetectionService` around the shipped
+    state; returns the results plus the updated state so the next round
+    continues where this one left off.
+    """
+    global _WORKER_MODEL
+    if _WORKER_MODEL is None or _WORKER_MODEL[0] != snapshot_path:
+        _WORKER_MODEL = (snapshot_path, load_snapshot(snapshot_path))
+    service = DetectionService(
+        _WORKER_MODEL[1], drift_monitor=state.monitor, **service_kwargs
+    )
+    service.epoch_ = epoch
+    if state.rolling is not None:
+        service._rolling = state.rolling
+    results = [(g, service.process_batch(X)) for g, X in items]
+    # The rolling window only exists for threshold="rolling"; shipping the
+    # (otherwise never-read) backing array back and forth every round would
+    # pickle rolling_window floats per shard for nothing.
+    rolling = (
+        service._rolling if service_kwargs.get("threshold") == "rolling" else None
+    )
+    return results, _ShardState(monitor=service.drift_monitor, rolling=rolling)
 
 
 class ShardedDetectionService:
@@ -92,23 +145,38 @@ class ShardedDetectionService:
     mode:
         ``"thread"``, ``"process"`` or ``"auto"`` (threads when the native
         kernels are available, processes otherwise).
+    shard_mode:
+        ``"round_robin"`` (default) assigns batch ``g`` to worker
+        ``g % n_workers``; the opt-in ``"greedy"`` assigns each batch to the
+        worker with the fewest rows dispatched so far (ties break to the
+        lowest index) — better balance for heterogeneous batch sizes, still
+        fully deterministic, and the global-order merge is unchanged.
     threshold, rolling_window, rolling_quantile, min_rolling, micro_batch_size:
         Forwarded to every shard's :class:`DetectionService` (see there);
         rolling thresholds are evaluated per shard.
     drift_monitor_factory:
         Zero-argument callable building one fresh
-        :class:`~repro.serve.drift.DriftMonitor` per shard (must be picklable
-        in process mode, e.g. a module-level function or
-        :func:`functools.partial` over one).  Drift events are merged into
-        global batch order.  A shared mutable monitor instance cannot be
+        :class:`~repro.serve.drift.DriftMonitor` per shard.  Drift events are
+        merged into global batch order; with a lifecycle they double as the
+        shards' swap votes.  A shared mutable monitor instance cannot be
         accepted — shards would race on its windows — hence a factory.
+    lifecycle:
+        Optional :class:`~repro.serve.lifecycle.LifecycleManager`.  The
+        *parent* owns it: merged clean rows feed its window buffer, and when
+        the shard vote reaches ``quorum`` the parent refits once, publishes,
+        and swaps every worker at the next round boundary (see module
+        docstring).
+    quorum:
+        Fraction of workers (in ``(0, 1]``) whose monitors must have voted
+        drift since the last swap before the parent coordinates one.
     sinks:
         Alert sinks fed by the *merger* (not the shards) so events arrive in
         global stream order exactly once.
     batches_per_round:
-        Thread mode consumes the stream in rounds of
+        Both modes consume the stream in rounds of
         ``n_workers * batches_per_round`` batches, bounding buffered memory
-        while keeping every worker busy.
+        while keeping every worker busy; coordinated swaps happen only at
+        round boundaries.
     """
 
     def __init__(
@@ -117,12 +185,15 @@ class ShardedDetectionService:
         *,
         n_workers: int = 2,
         mode: str = "auto",
+        shard_mode: str = "round_robin",
         threshold: float | str = "auto",
         rolling_window: int = 4096,
         rolling_quantile: float = 0.95,
         min_rolling: int = 64,
         micro_batch_size: int = 1024,
         drift_monitor_factory: Callable[[], DriftMonitor] | None = None,
+        lifecycle: Any = None,
+        quorum: float = 0.5,
         sinks: Sequence[Any] = (),
         batches_per_round: int = 4,
     ) -> None:
@@ -130,6 +201,10 @@ class ShardedDetectionService:
             raise ValueError("n_workers must be at least 1")
         if mode not in ("auto", "thread", "process"):
             raise ValueError("mode must be 'auto', 'thread' or 'process'")
+        if shard_mode not in _SHARD_MODES:
+            raise ValueError(f"shard_mode must be one of {_SHARD_MODES}")
+        if not 0.0 < quorum <= 1.0:
+            raise ValueError("quorum must be in (0, 1]")
         if batches_per_round < 1:
             raise ValueError("batches_per_round must be at least 1")
         if isinstance(drift_monitor_factory, DriftMonitor):
@@ -137,10 +212,18 @@ class ShardedDetectionService:
                 "pass a factory building one DriftMonitor per shard, not a "
                 "monitor instance (shards would race on its windows)"
             )
+        if lifecycle is not None and drift_monitor_factory is None:
+            raise ValueError(
+                "a lifecycle needs drift votes: pass drift_monitor_factory "
+                "so each shard can flag drift"
+            )
         self.detector = detector
         self.n_workers = n_workers
         self.mode = mode
+        self.shard_mode = shard_mode
         self.drift_monitor_factory = drift_monitor_factory
+        self.lifecycle = lifecycle
+        self.quorum = quorum
         self.sinks = list(sinks)
         self.batches_per_round = batches_per_round
         self._service_kwargs = dict(
@@ -155,14 +238,18 @@ class ShardedDetectionService:
         DetectionService(detector, **self._service_kwargs)
 
         self.timer = Timer()
+        self.epoch_ = 0
         self.n_features_: int | None = None
         self.n_batches_ = 0
         self.n_samples_ = 0
         self.n_alerts_ = 0
         self.n_drift_events_ = 0
+        self.n_swaps_ = 0
         self.drift_batches_: list[int] = []
         self._latency_total = 0.0
         self._shard_services: list[DetectionService] | None = None
+        self._worker_rows = [0] * n_workers  # greedy-assignment load account
+        self._drift_votes: set[int] = set()  # shards voting since last swap
 
     # -- configuration -----------------------------------------------------------
     def resolved_mode(self) -> str:
@@ -171,13 +258,17 @@ class ShardedDetectionService:
             return self.mode
         return "thread" if native.available() else "process"
 
+    @property
+    def _votes_needed(self) -> int:
+        return max(1, math.ceil(self.quorum * self.n_workers - 1e-9))
+
     # -- stream plumbing ---------------------------------------------------------
     def _validate_width(self, X: Any) -> np.ndarray:
         """Parent-side feature contract, identical to the sequential service.
 
-        Each shard only sees every ``n_workers``-th batch, so a mid-stream
-        width change could otherwise slip past the shard that never receives
-        it; validating at dispatch keeps the sequential error behavior.
+        Each shard only sees a subset of batches, so a mid-stream width
+        change could otherwise slip past the shard that never receives it;
+        validating at dispatch keeps the sequential error behavior.
         """
         X, self.n_features_ = _validate_stream_batch(X, self.n_features_)
         return X
@@ -186,15 +277,42 @@ class ShardedDetectionService:
         for g, item in enumerate(stream, start=self.n_batches_):
             yield g, self._validate_width(DetectionService._batch_features(item))
 
+    def _take_round(
+        self, batches: Iterator[tuple[int, np.ndarray]]
+    ) -> list[tuple[int, np.ndarray]]:
+        round_size = self.n_workers * self.batches_per_round
+        round_items: list[tuple[int, np.ndarray]] = []
+        for item in batches:
+            round_items.append(item)
+            if len(round_items) >= round_size:
+                break
+        return round_items
+
+    def _assign_round(
+        self, round_items: list[tuple[int, np.ndarray]]
+    ) -> dict[int, int]:
+        """Deterministic global-batch-index -> shard mapping for one round."""
+        if self.shard_mode == "round_robin":
+            return {g: g % self.n_workers for g, _ in round_items}
+        assignment: dict[int, int] = {}
+        for g, X in round_items:
+            shard = int(np.argmin(self._worker_rows))
+            assignment[g] = shard
+            self._worker_rows[shard] += int(X.shape[0])
+        return assignment
+
     # -- merging -----------------------------------------------------------------
     def _emit(self, event: Any) -> None:
         for sink in self.sinks:
             sink.emit(event)
 
-    def _merge_in_order(
-        self, per_batch: dict[int, BatchResult]
+    def _merge_round(
+        self,
+        per_batch: dict[int, BatchResult],
+        batch_X: dict[int, np.ndarray],
+        shard_of: dict[int, int],
     ) -> Iterator[BatchResult]:
-        """Re-serialize shard results into global order; emit + count."""
+        """Re-serialize shard results into global order; emit, count, vote."""
         for g in sorted(per_batch):
             shard_result = per_batch[g]
             offset = self.n_samples_
@@ -214,6 +332,11 @@ class ShardedDetectionService:
                 self.n_drift_events_ += 1
                 self.drift_batches_.append(g)
                 self._emit(DriftEvent(batch_index=g, report=drift))
+                self._drift_votes.add(shard_of[g])
+            if self.lifecycle is not None and shard_result.scores.size:
+                self.lifecycle.observe_batch(
+                    batch_X[g], shard_result.scores, shard_result.threshold, drift
+                )
             self.n_batches_ += 1
             self.n_samples_ += shard_result.n_samples
             self.n_alerts_ += len(alerts)
@@ -226,7 +349,36 @@ class ShardedDetectionService:
                 alerts=alerts,
                 drift=drift,
                 latency_s=shard_result.latency_s,
+                model_epoch=shard_result.model_epoch,
             )
+
+    # -- coordinated swap --------------------------------------------------------
+    def _coordinate_swap(self) -> tuple[Any | None, bool]:
+        """At a round boundary: refit/gate/publish once if quorum is reached.
+
+        Returns ``(candidate, rebootstrap)``: the new model every worker must
+        swap to (the caller applies it mode-specifically), or ``None``.
+        Only a *refit* candidate rebootstraps the shard monitors' feature
+        references — it was trained on the post-drift window; a fallback
+        *reload* may be stale, so the references are kept and a persistent
+        shift keeps voting (see ``DetectionService.reload_detector``).
+        Votes reset after every coordination attempt — a rejected candidate
+        should not be retried at every subsequent boundary; the shards'
+        cooldowns will re-vote if the shift persists.
+        """
+        if self.lifecycle is None or len(self._drift_votes) < self._votes_needed:
+            return None, False
+        self._drift_votes.clear()
+        candidate, event = self.lifecycle.produce_candidate(self.detector)
+        if candidate is not None:
+            self.detector = candidate
+            self.epoch_ += 1
+            self.n_swaps_ += 1
+            event = replace(event, swapped=True, epoch=self.epoch_)
+        else:
+            event = replace(event, epoch=self.epoch_)
+        self.lifecycle.record(event)
+        return candidate, event.action == "refit"
 
     # -- thread mode -------------------------------------------------------------
     def _make_shard_service(self) -> DetectionService:
@@ -250,24 +402,20 @@ class ShardedDetectionService:
             self._shard_services = [
                 self._make_shard_service() for _ in range(self.n_workers)
             ]
-        round_size = self.n_workers * self.batches_per_round
         batches = self._indexed_batches(stream)
         with ThreadPoolExecutor(
             max_workers=self.n_workers, thread_name_prefix="repro-shard"
         ) as pool:
             while True:
-                round_items: list[tuple[int, np.ndarray]] = []
-                for item in batches:
-                    round_items.append(item)
-                    if len(round_items) >= round_size:
-                        break
+                round_items = self._take_round(batches)
                 if not round_items:
                     return
+                shard_of = self._assign_round(round_items)
                 shards: list[list[tuple[int, np.ndarray]]] = [
                     [] for _ in range(self.n_workers)
                 ]
                 for g, X in round_items:
-                    shards[g % self.n_workers].append((g, X))
+                    shards[shard_of[g]].append((g, X))
                 futures = [
                     pool.submit(self._score_shard, self._shard_services[s], items)
                     for s, items in enumerate(shards)
@@ -276,43 +424,81 @@ class ShardedDetectionService:
                 per_batch: dict[int, BatchResult] = {}
                 for future in futures:
                     per_batch.update(dict(future.result()))
-                yield from self._merge_in_order(per_batch)
+                yield from self._merge_round(per_batch, dict(round_items), shard_of)
+                candidate, rebootstrap = self._coordinate_swap()
+                if candidate is not None:
+                    # Every worker is idle between rounds: swap them all so
+                    # the next round scores with one model epoch everywhere.
+                    for service in self._shard_services:
+                        service.reload_detector(candidate, rebootstrap=rebootstrap)
 
     # -- process mode ------------------------------------------------------------
     def _process_multiprocess(self, stream: Iterable[Any]) -> Iterator[BatchResult]:
-        shards: list[list[tuple[int, np.ndarray]]] = [
-            [] for _ in range(self.n_workers)
+        batches = self._indexed_batches(stream)
+        states = [
+            _ShardState(
+                monitor=(
+                    self.drift_monitor_factory()
+                    if self.drift_monitor_factory is not None
+                    else None
+                )
+            )
+            for _ in range(self.n_workers)
         ]
-        for g, X in self._indexed_batches(stream):
-            shards[g % self.n_workers].append((g, X))
-        if not any(shards):
-            return
-        per_batch: dict[int, BatchResult] = {}
         with tempfile.TemporaryDirectory(prefix="repro-shard-") as tmp:
-            snapshot_path = str(Path(tmp) / "model")
+            snapshot_path = str(Path(tmp) / f"model_e{self.epoch_}")
             save_snapshot(self.detector, snapshot_path)
             with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-                futures = [
-                    pool.submit(
-                        _score_shard_in_subprocess,
-                        snapshot_path,
-                        self._service_kwargs,
-                        self.drift_monitor_factory,
-                        items,
+                while True:
+                    round_items = self._take_round(batches)
+                    if not round_items:
+                        return
+                    shard_of = self._assign_round(round_items)
+                    shards: list[list[tuple[int, np.ndarray]]] = [
+                        [] for _ in range(self.n_workers)
+                    ]
+                    for g, X in round_items:
+                        shards[shard_of[g]].append((g, X))
+                    futures = {
+                        pool.submit(
+                            _score_round_in_subprocess,
+                            snapshot_path,
+                            self.epoch_,
+                            self._service_kwargs,
+                            states[s],
+                            items,
+                        ): s
+                        for s, items in enumerate(shards)
+                        if items
+                    }
+                    per_batch: dict[int, BatchResult] = {}
+                    for future, s in futures.items():
+                        results, states[s] = future.result()
+                        per_batch.update(dict(results))
+                    yield from self._merge_round(
+                        per_batch, dict(round_items), shard_of
                     )
-                    for items in shards
-                    if items
-                ]
-                for future in futures:
-                    per_batch.update(dict(future.result()))
-        yield from self._merge_in_order(per_batch)
+                    candidate, rebootstrap = self._coordinate_swap()
+                    if candidate is not None:
+                        # Publish the new epoch's snapshot for the workers and
+                        # reset every shard's model-scale-derived state, same
+                        # as DetectionService.reload_detector does in-process.
+                        snapshot_path = str(Path(tmp) / f"model_e{self.epoch_}")
+                        save_snapshot(candidate, snapshot_path)
+                        for state in states:
+                            if state.monitor is not None:
+                                state.monitor.reset(
+                                    clear_score_reference=True,
+                                    rebootstrap=rebootstrap,
+                                )
+                            state.rolling = None
 
     # -- public API --------------------------------------------------------------
     def process(self, stream: Iterable[Any]) -> Iterator[BatchResult]:
         """Yield merged :class:`BatchResult`\\ s in global stream order.
 
-        Thread mode yields round by round (bounded buffering); process mode
-        yields only after the whole stream was scored.
+        Both modes consume the stream lazily and yield round by round
+        (bounded buffering); coordinated swaps happen between rounds.
         """
         with self.timer:
             if self.resolved_mode() == "thread":

@@ -169,3 +169,39 @@ class ModelRegistry:
                 f"model {name!r} is pinned to v{info.version}; unpin before deleting"
             )
         shutil.rmtree(info.path)
+
+    def gc(self, name: str | None = None, *, keep: int = 3) -> list[SnapshotInfo]:
+        """Prune old versions, keeping the newest ``keep`` per model.
+
+        An online-refit lifecycle publishes a new version per accepted
+        candidate, so registries grow without bound; ``gc`` is the retention
+        policy.  A pinned version is always kept (on top of the newest
+        ``keep``), so freezing a deployment to a known-good model survives
+        any later cleanup.  Returns the deleted entries, oldest first.
+
+        Parameters
+        ----------
+        name:
+            Prune a single model, or every model when ``None``.
+        keep:
+            Number of newest versions to retain per model (at least 1).
+        """
+        if keep < 1:
+            raise ValueError("keep must be at least 1 (gc must not empty a model)")
+        names = [_check_name(name)] if name is not None else self.models()
+        deleted: list[SnapshotInfo] = []
+        for model_name in names:
+            versions = self.versions(model_name)
+            survivors = set(versions[-keep:])
+            pinned = self.pinned_version(model_name)
+            if pinned is not None:
+                survivors.add(pinned)
+            for version in versions:
+                if version in survivors:
+                    continue
+                path = self.root / model_name / f"v{version}"
+                shutil.rmtree(path)
+                deleted.append(
+                    SnapshotInfo(name=model_name, version=version, path=path)
+                )
+        return deleted

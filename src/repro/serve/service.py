@@ -98,7 +98,13 @@ class DriftEvent:
 
 @dataclass(frozen=True)
 class BatchResult:
-    """Everything the service derived from one stream batch."""
+    """Everything the service derived from one stream batch.
+
+    ``model_epoch`` tags which served model scored the batch: it starts at 0
+    and increments on every hot-swap (:meth:`DetectionService.reload_detector`),
+    so a consumer — and the sharded service's coordinated-swap tests — can
+    verify exactly which model version produced which scores.
+    """
 
     index: int
     scores: np.ndarray
@@ -107,6 +113,7 @@ class BatchResult:
     alerts: tuple[Alert, ...]
     drift: DriftReport | None
     latency_s: float
+    model_epoch: int = 0
 
     @property
     def n_samples(self) -> int:
@@ -185,6 +192,13 @@ class DetectionService:
     on_drift:
         ``callable(service, report)`` invoked when the monitor fires — e.g.
         :func:`make_registry_reload` to hot-swap the latest registry model.
+    lifecycle:
+        Optional :class:`~repro.serve.lifecycle.LifecycleManager` that owns
+        the full drift reaction: every scored batch feeds its clean-window
+        buffer, and when the monitor fires it refits, gates, publishes and
+        hot-swaps (see :mod:`repro.serve.lifecycle`).  Mutually exclusive
+        with ``on_drift`` — both reacting to the same firing would double
+        the swaps.
     """
 
     def __init__(
@@ -199,6 +213,7 @@ class DetectionService:
         drift_monitor: DriftMonitor | None = None,
         sinks: Sequence[Any] = (),
         on_drift: Callable[["DetectionService", DriftReport], None] | None = None,
+        lifecycle: Any = None,
     ) -> None:
         if isinstance(threshold, str) and threshold not in ("auto", "rolling"):
             raise ValueError("threshold must be a float, 'auto' or 'rolling'")
@@ -210,6 +225,11 @@ class DetectionService:
             raise ValueError("min_rolling must be at least 1")
         if micro_batch_size < 1:
             raise ValueError("micro_batch_size must be at least 1")
+        if lifecycle is not None and on_drift is not None:
+            raise ValueError(
+                "pass either lifecycle or on_drift, not both: two handlers "
+                "reacting to the same drift firing would swap the model twice"
+            )
         self.detector = detector
         self.threshold = threshold
         self.rolling_window = rolling_window
@@ -219,8 +239,10 @@ class DetectionService:
         self.drift_monitor = drift_monitor
         self.sinks = list(sinks)
         self.on_drift = on_drift
+        self.lifecycle = lifecycle
 
         self.timer = Timer()
+        self.epoch_ = 0
         self.n_features_: int | None = None
         self.n_batches_ = 0
         self.n_samples_ = 0
@@ -230,22 +252,39 @@ class DetectionService:
         self._rolling = _RingBuffer(rolling_window, 1)
 
     # -- model management --------------------------------------------------------
-    def reload_detector(self, detector: Any, *, reset_rolling: bool = True) -> None:
-        """Swap the served model in place (used by drift-triggered reloads).
+    def reload_detector(
+        self, detector: Any, *, reset_rolling: bool = True, rebootstrap: bool = True
+    ) -> None:
+        """Swap the served model in place (used by drift-triggered swaps).
 
         The feature contract of the stream is unchanged, so the validate-once
-        state is kept.  Everything derived from the *old model's score scale*
-        is discarded: the rolling threshold window (by default) and the drift
-        monitor's windows plus its score reference — the new model's scores
-        may be centred elsewhere, and judging them against the old reference
-        would re-fire drift (and re-reload) forever.  The monitor re-derives
-        its score reference from the next streamed scores.
+        state is kept.  Everything derived from the *old model* is discarded:
+        the rolling threshold window (by default) and the drift monitor's
+        windows plus both of its references (``reset(rebootstrap=True)``) —
+        the new model's scores may be centred elsewhere, and a refitted model
+        was trained on post-drift traffic, so judging the stream against the
+        pre-swap score *or feature* reference would re-fire drift (and
+        re-swap) forever.  The monitor re-derives both references from the
+        next streamed samples.
+
+        Pass ``rebootstrap=False`` when the incoming model was *not* trained
+        on recent traffic (e.g. re-serving a known, possibly stale registry
+        version): the monitor then keeps its feature reference
+        (``reset(clear_score_reference=True)``), so a persistent covariate
+        shift keeps re-firing after each cooldown instead of being silently
+        absorbed into a new baseline.
+
+        Each swap advances :attr:`epoch_`, the model version tag carried by
+        every subsequent :class:`BatchResult`.
         """
         self.detector = detector
+        self.epoch_ += 1
         if reset_rolling:
             self._rolling = _RingBuffer(self.rolling_window, 1)
         if self.drift_monitor is not None:
-            self.drift_monitor.reset(clear_score_reference=True)
+            self.drift_monitor.reset(
+                clear_score_reference=True, rebootstrap=rebootstrap
+            )
 
     # -- scoring -----------------------------------------------------------------
     def _validate_once(self, X: np.ndarray) -> np.ndarray:
@@ -315,6 +354,7 @@ class DetectionService:
         X = self._validate_once(X)
         batch_index = self.n_batches_
         offset = self.n_samples_
+        model_epoch = self.epoch_  # a drift-triggered swap below must not retag
         accumulated = self.timer.total
         with self.timer:
             if X.shape[0]:
@@ -345,12 +385,19 @@ class DetectionService:
         drift_report: DriftReport | None = None
         if self.drift_monitor is not None and scores.size:
             drift_report = self.drift_monitor.update(scores, X)
-            if drift_report.drifted:
-                self.n_drift_events_ += 1
-                self.drift_batches_.append(batch_index)
-                self._emit(DriftEvent(batch_index=batch_index, report=drift_report))
-                if self.on_drift is not None:
-                    self.on_drift(self, drift_report)
+        # Clean rows feed the refit window *before* any drift reaction: the
+        # batch that fired the monitor is skipped by observe_batch, so the
+        # acute transition never enters the window.
+        if self.lifecycle is not None and scores.size:
+            self.lifecycle.observe_batch(X, scores, threshold, drift_report)
+        if drift_report is not None and drift_report.drifted:
+            self.n_drift_events_ += 1
+            self.drift_batches_.append(batch_index)
+            self._emit(DriftEvent(batch_index=batch_index, report=drift_report))
+            if self.lifecycle is not None:
+                self.lifecycle.handle_drift(self, drift_report)
+            elif self.on_drift is not None:
+                self.on_drift(self, drift_report)
 
         self.n_batches_ += 1
         self.n_samples_ += int(scores.shape[0])
@@ -363,6 +410,7 @@ class DetectionService:
             alerts=alerts,
             drift=drift_report,
             latency_s=latency,
+            model_epoch=model_epoch,
         )
 
     # -- stream consumption ------------------------------------------------------
@@ -415,6 +463,7 @@ def make_registry_reload(
     *,
     version: int | str | None = None,
     reset_rolling: bool = True,
+    rebootstrap: bool = False,
 ) -> Callable[[DetectionService, DriftReport], None]:
     """Build an ``on_drift`` hook that reloads ``name`` from a model registry.
 
@@ -422,11 +471,23 @@ def make_registry_reload(
     pinned-or-latest), so publishing a retrained model to the registry is all
     an operator has to do for the service to pick it up on the next drift
     signal.
+
+    By default the swap keeps the monitor's *feature* reference
+    (``rebootstrap=False``): a plain reload may well resolve to the same
+    stale model, and re-baselining the features on it would permanently
+    silence a persistent covariate shift — the recurring re-fire after each
+    cooldown *is* the operator's signal that the reloaded model still does
+    not fit the traffic.  Pass ``rebootstrap=True`` when every published
+    version is known to be trained on recent traffic.  (The
+    :mod:`repro.serve.lifecycle` refit path always rebootstraps — its swaps
+    are guaranteed to be models trained on the post-drift window.)
     """
 
     def _reload(service: DetectionService, report: DriftReport) -> None:
         service.reload_detector(
-            registry.load(name, version), reset_rolling=reset_rolling
+            registry.load(name, version),
+            reset_rolling=reset_rolling,
+            rebootstrap=rebootstrap,
         )
 
     return _reload

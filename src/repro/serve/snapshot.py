@@ -24,6 +24,7 @@ scores bit for bit.
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 import json
 from datetime import datetime, timezone
@@ -54,6 +55,15 @@ _ALLOWED_PACKAGES = ("repro",)
 
 class SnapshotError(ValueError):
     """Raised when model state cannot be serialized or a snapshot is invalid."""
+
+
+def _sha256_file(path: Path) -> str:
+    """Streaming SHA-256 of a file (bounded memory for large array stores)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _transient_attrs(cls: type) -> frozenset:
@@ -292,6 +302,13 @@ def save_snapshot(
     if encoder.arrays:
         with open(path / ARRAYS_NAME, "wb") as handle:
             np.savez_compressed(handle, **encoder.arrays)
+        # Content hash per artifact, written after the artifact so the
+        # manifest vouches for the exact bytes on disk; load_snapshot
+        # verifies it and refuses silently corrupted model state.
+        manifest["artifacts"] = {
+            ARRAYS_NAME: {"sha256": _sha256_file(path / ARRAYS_NAME)}
+        }
+        manifest_text = json.dumps(manifest, indent=2, sort_keys=True)
     manifest_path.write_text(manifest_text + "\n")
     return path
 
@@ -326,6 +343,22 @@ def load_snapshot(path: str | Path, *, expected_class: type | None = None) -> An
     """
     path = Path(path)
     manifest = read_manifest(path)
+    for artifact_name, info in (manifest.get("artifacts") or {}).items():
+        artifact_path = path / artifact_name
+        if not artifact_path.is_file():
+            raise SnapshotError(
+                f"snapshot at {path} is missing artifact {artifact_name!r} "
+                "listed in its manifest"
+            )
+        expected = info.get("sha256")
+        if expected is not None:
+            actual = _sha256_file(artifact_path)
+            if actual != expected:
+                raise SnapshotError(
+                    f"snapshot artifact {artifact_name!r} at {path} is corrupted: "
+                    f"sha256 {actual} does not match the manifest's {expected} "
+                    "(re-publish the model or restore the file from backup)"
+                )
     arrays: dict[str, np.ndarray] = {}
     if manifest.get("arrays_file"):
         with np.load(path / manifest["arrays_file"], allow_pickle=False) as stored:

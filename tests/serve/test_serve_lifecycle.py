@@ -1,0 +1,501 @@
+"""Lifecycle subsystem: buffer, policies, gate, manager, registry retention.
+
+Covers the sequential drift -> refit -> gate -> publish -> swap loop plus the
+satellite guarantees: snapshot artifact integrity (SHA-256), registry GC
+retention, and the drift-monitor rebootstrap regression (a refitted model
+must not re-trigger drift against the pre-swap reference).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continual.base import ContinualMethod
+from repro.core.model import CNDIDS
+from repro.novelty import IsolationForest, MahalanobisDetector
+from repro.serve import (
+    ContinualRefit,
+    DetectionService,
+    DriftMonitor,
+    FullRefit,
+    LifecycleManager,
+    ModelRegistry,
+    NoRefit,
+    QualityGate,
+    SnapshotError,
+    WindowBuffer,
+    clone_model,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def fitted_detector(rng):
+    return MahalanobisDetector().fit(rng.normal(size=(400, 5)))
+
+
+# ---------------------------------------------------------------------------
+# WindowBuffer
+# ---------------------------------------------------------------------------
+class TestWindowBuffer:
+    def test_bounded_and_keeps_recent_rows(self):
+        buffer = WindowBuffer(capacity=10)
+        buffer.add(np.zeros((8, 3)))
+        buffer.add(np.ones((8, 3)))
+        assert buffer.count == 10
+        values = buffer.values()
+        assert values.shape == (10, 3)
+        # all 8 recent rows survive; only 2 of the old zeros can remain
+        assert int(values.sum()) == 8 * 3
+        assert buffer.n_added_ == 16
+
+    def test_add_clean_filters_above_threshold(self):
+        buffer = WindowBuffer(capacity=100)
+        X = np.arange(12, dtype=float).reshape(6, 2)
+        scores = np.array([0.1, 0.9, 0.2, 0.8, 0.3, 0.7])
+        added = buffer.add_clean(X, scores, threshold=0.5)
+        assert added == 3 and buffer.count == 3
+        assert buffer.n_rejected_ == 3
+        np.testing.assert_array_equal(buffer.values(), X[[0, 2, 4]])
+
+    def test_nan_threshold_accepts_nothing(self):
+        buffer = WindowBuffer(capacity=8)
+        assert buffer.add_clean(np.ones((4, 2)), np.zeros(4), float("nan")) == 0
+        assert buffer.count == 0
+
+    def test_width_contract_and_validation(self):
+        buffer = WindowBuffer(capacity=8)
+        buffer.add(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="features"):
+            buffer.add(np.zeros((2, 4)))
+        with pytest.raises(ValueError, match="2-D"):
+            buffer.add(np.zeros(3))
+        with pytest.raises(ValueError):
+            WindowBuffer(capacity=0)
+
+    def test_clear_keeps_width(self):
+        buffer = WindowBuffer(capacity=8)
+        buffer.add(np.zeros((4, 3)))
+        buffer.clear()
+        assert buffer.count == 0
+        assert buffer.n_features == 3
+
+    def test_values_is_a_copy(self):
+        buffer = WindowBuffer(capacity=4)
+        buffer.add(np.zeros((2, 2)))
+        buffer.values()[:] = 99.0
+        assert buffer.values().sum() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Refit policies
+# ---------------------------------------------------------------------------
+class TestPolicies:
+    def test_clone_model_is_independent_and_bit_identical(self, rng, fitted_detector):
+        X = rng.normal(size=(50, 5))
+        clone = clone_model(fitted_detector)
+        assert clone is not fitted_detector
+        np.testing.assert_array_equal(
+            clone.score_samples(X), fitted_detector.score_samples(X)
+        )
+        clone.threshold_ = -1.0
+        assert fitted_detector.threshold_ != -1.0
+
+    def test_full_refit_without_factory_clones_and_fits(self, rng, fitted_detector):
+        window = rng.normal(size=(300, 5)) + 10.0
+        before = fitted_detector.threshold_
+        candidate = FullRefit().refit(fitted_detector, window)
+        assert candidate is not fitted_detector
+        assert fitted_detector.threshold_ == before  # served model untouched
+        # the candidate considers the (shifted) window ordinary traffic
+        rate = np.mean(candidate.score_samples(window) > candidate.threshold_)
+        assert rate < 0.2
+
+    def test_full_refit_with_factory(self, rng, fitted_detector):
+        window = rng.normal(size=(300, 5))
+        candidate = FullRefit(
+            lambda: MahalanobisDetector(threshold_quantile=0.9)
+        ).refit(fitted_detector, window)
+        assert candidate.threshold_quantile == 0.9
+
+    def test_full_refit_rejects_fitless_factory(self, fitted_detector):
+        with pytest.raises(TypeError, match="fit"):
+            FullRefit(lambda: object()).refit(fitted_detector, np.zeros((10, 5)))
+
+    def test_continual_refit_rejects_plain_detector(self, fitted_detector):
+        with pytest.raises(TypeError, match="continual"):
+            ContinualRefit().refit(fitted_detector, np.zeros((10, 5)))
+
+    def test_continual_refit_routes_through_update(self, rng):
+        clean = rng.normal(size=(200, 4))
+        method = CNDIDS(
+            input_dim=4, latent_dim=8, hidden_dims=(16,), epochs=1,
+            n_clusters=2, max_clean_normal=200, random_state=0,
+        )
+        method.setup(clean)
+        method.fit_experience(rng.normal(size=(150, 4)))
+        candidate = ContinualRefit().refit(method, rng.normal(size=(150, 4)) + 1.0)
+        assert candidate is not method
+        assert candidate.experience_count == method.experience_count + 1
+        assert np.isfinite(candidate.score_samples(clean[:20])).all()
+
+    def test_update_default_delegates_to_fit_experience(self):
+        calls = []
+
+        class Probe(ContinualMethod):
+            def fit_experience(self, X_train, **kwargs):
+                calls.append(np.asarray(X_train).shape)
+
+        Probe().update(np.zeros((7, 3)))
+        assert calls == [(7, 3)]
+
+    def test_no_refit_declines(self, fitted_detector):
+        assert NoRefit().refit(fitted_detector, np.zeros((10, 5))) is None
+
+
+# ---------------------------------------------------------------------------
+# QualityGate
+# ---------------------------------------------------------------------------
+class _StubScorer:
+    def __init__(self, scores, threshold=None):
+        self._scores = np.asarray(scores, dtype=np.float64)
+        if threshold is not None:
+            self.threshold_ = threshold
+
+    def score_samples(self, X):
+        return self._scores[: X.shape[0]]
+
+
+class TestQualityGate:
+    def test_passes_sane_candidate(self, rng, fitted_detector):
+        result = QualityGate().evaluate(fitted_detector, rng.normal(size=(100, 5)))
+        assert result.passed and result.reason is None
+        assert 0.0 <= result.stats["clean_alert_rate"] <= 0.25
+
+    def test_rejects_non_finite_scores(self):
+        scores = np.ones(50)
+        scores[3] = np.nan
+        result = QualityGate().evaluate(_StubScorer(scores), np.zeros((50, 2)))
+        assert not result.passed and "non-finite" in result.reason
+
+    def test_rejects_constant_scorer(self):
+        result = QualityGate().evaluate(_StubScorer(np.ones(50)), np.zeros((50, 2)))
+        assert not result.passed and "constant" in result.reason
+
+    def test_rejects_high_clean_alert_rate(self, rng):
+        # threshold below every score -> the candidate flags 100% of clean rows
+        scores = rng.normal(size=50)
+        result = QualityGate().evaluate(
+            _StubScorer(scores, threshold=scores.min() - 1.0), np.zeros((50, 2))
+        )
+        assert not result.passed and "flags" in result.reason
+
+    def test_holdout_quantile_rejects_unstable_thresholdless_scorer(self):
+        # No threshold_: a self-quantile over the whole window would pin the
+        # alert rate at 1 - fallback_quantile for ANY scorer.  The holdout
+        # split (threshold from the first half, rate on the second) catches
+        # a scorer whose scale wanders across the window.
+        ramp = np.linspace(0.0, 100.0, 100)  # second half far above the first
+        result = QualityGate().evaluate(_StubScorer(ramp), np.zeros((100, 2)))
+        assert not result.passed and "flags" in result.reason
+        assert result.stats["threshold_source"] == "holdout_quantile"
+
+    def test_holdout_quantile_passes_stable_thresholdless_scorer(self, rng):
+        scores = rng.normal(size=200)
+        result = QualityGate().evaluate(_StubScorer(scores), np.zeros((200, 2)))
+        assert result.passed
+        assert result.stats["threshold_source"] == "holdout_quantile"
+
+    def test_rejects_tiny_reference_window(self, fitted_detector):
+        result = QualityGate().evaluate(fitted_detector, np.zeros((1, 5)))
+        assert not result.passed
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            QualityGate(max_clean_alert_rate=0.0)
+        with pytest.raises(ValueError):
+            QualityGate(fallback_quantile=1.0)
+
+
+# ---------------------------------------------------------------------------
+# LifecycleManager (sequential loop)
+# ---------------------------------------------------------------------------
+def _drifted_service(detector, lifecycle, rng):
+    monitor = DriftMonitor(window=256, min_samples=128, cooldown=4)
+    pre = rng.normal(size=(600, 5))
+    monitor.set_reference(detector.score_samples(pre), pre)
+    return DetectionService(
+        detector,
+        threshold="rolling",
+        min_rolling=32,
+        drift_monitor=monitor,
+        lifecycle=lifecycle,
+    )
+
+
+class TestLifecycleManager:
+    def test_validation(self, fitted_detector):
+        with pytest.raises(TypeError, match="RefitPolicy"):
+            LifecycleManager(policy=lambda: None)
+        with pytest.raises(ValueError, match="model_name"):
+            LifecycleManager(FullRefit(), registry=ModelRegistry("/tmp/x"))
+        with pytest.raises(ValueError, match="min_refit_rows"):
+            LifecycleManager(FullRefit(), min_refit_rows=1)
+        with pytest.raises(ValueError, match="not both"):
+            DetectionService(
+                fitted_detector,
+                lifecycle=LifecycleManager(FullRefit()),
+                on_drift=lambda service, report: None,
+            )
+
+    def test_skip_when_window_too_small_and_no_registry(self, fitted_detector):
+        manager = LifecycleManager(FullRefit(), min_refit_rows=100)
+        candidate, event = manager.produce_candidate(fitted_detector)
+        assert candidate is None
+        assert event.action == "skipped" and "min_refit_rows" in event.reason
+
+    def test_reload_fallback_declines_already_serving_version(
+        self, tmp_path, rng, fitted_detector
+    ):
+        # Re-"swapping" the byte-identical registry version would only reset
+        # the drift monitor and absorb the drift signal; with a known
+        # serving_version the fallback must decline until something newer
+        # is published.
+        registry = ModelRegistry(tmp_path)
+        info = registry.publish(fitted_detector, "ids")
+        manager = LifecycleManager(
+            NoRefit(), registry=registry, model_name="ids",
+            min_refit_rows=10, serving_version=info.version,
+        )
+        manager.buffer.add(rng.normal(size=(50, 5)))
+        service = _drifted_service(fitted_detector, manager, rng)
+        event = manager.handle_drift(service, report=None)
+        assert event.action == "skipped" and not event.swapped
+        assert "already serving" in event.reason
+        assert service.epoch_ == 0
+        assert service.drift_monitor._feature_ref is not None  # no reset
+        # once a newer version exists the fallback reloads it
+        registry.publish(fitted_detector, "ids")
+        event = manager.handle_drift(service, report=None)
+        assert event.action == "reload" and event.swapped
+        assert manager.serving_version == 2
+        # a reload swap is NOT a refit: the possibly-stale model keeps the
+        # feature reference so a persistent shift would keep re-firing
+        assert service.drift_monitor._feature_ref is not None
+        assert service.drift_monitor._score_ref is None
+
+    def test_reload_fallback_resolves_registry(self, tmp_path, rng, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(fitted_detector, "ids")
+        manager = LifecycleManager(
+            NoRefit(), registry=registry, model_name="ids", min_refit_rows=10,
+        )
+        manager.buffer.add(rng.normal(size=(50, 5)))
+        candidate, event = manager.produce_candidate(fitted_detector)
+        assert event.action == "reload" and candidate is not None
+        X = rng.normal(size=(20, 5))
+        np.testing.assert_array_equal(
+            candidate.score_samples(X), fitted_detector.score_samples(X)
+        )
+
+    def test_gate_rejection_keeps_current_model(self, tmp_path, rng, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(fitted_detector, "ids")
+        manager = LifecycleManager(
+            FullRefit(),
+            gate=QualityGate(max_clean_alert_rate=1e-9),  # nothing can pass
+            registry=registry,
+            model_name="ids",
+            min_refit_rows=10,
+        )
+        manager.buffer.add(rng.normal(size=(100, 5)))
+        service = _drifted_service(fitted_detector, manager, rng)
+        event = manager.handle_drift(service, report=None)
+        assert event.action == "rejected" and not event.swapped
+        assert service.detector is fitted_detector
+        assert service.epoch_ == 0
+        assert registry.versions("ids") == [1]  # nothing published
+        assert manager.n_rejected_ == 1
+
+    def test_drift_refit_publish_swap_end_to_end(self, tmp_path, rng):
+        detector = IsolationForest(n_estimators=15, random_state=0).fit(
+            rng.normal(size=(800, 5))
+        )
+        registry = ModelRegistry(tmp_path)
+        registry.publish(detector, "ids")
+        manager = LifecycleManager(
+            FullRefit(lambda: IsolationForest(n_estimators=15, random_state=0)),
+            buffer=WindowBuffer(512),
+            registry=registry,
+            model_name="ids",
+            min_refit_rows=64,
+        )
+        service = _drifted_service(detector, manager, rng)
+        pre = rng.normal(size=(512, 5))
+        post = rng.normal(size=(1024, 5)) + 5.0
+        batches = [pre[i : i + 128] for i in range(0, 512, 128)]
+        batches += [post[i : i + 128] for i in range(0, 1024, 128)]
+        results = [service.process_batch(X) for X in batches]
+
+        assert service.epoch_ >= 1
+        swaps = [e for e in manager.events if e.swapped and e.action == "refit"]
+        assert swaps, f"no refit swap happened: {[e.action for e in manager.events]}"
+        assert registry.versions("ids")[-1] == swaps[-1].published_version
+        manifest = registry.resolve("ids", swaps[-1].published_version).manifest
+        assert manifest["metadata"]["lifecycle"]["policy"] == "full"
+        # batches are epoch-tagged: pre-swap 0, and the tag only ever grows
+        epochs = [r.model_epoch for r in results]
+        assert epochs[0] == 0 and epochs[-1] == service.epoch_
+        assert all(a <= b for a, b in zip(epochs, epochs[1:]))
+        # the swapped-in model treats post-drift traffic as normal
+        tail_rate = np.mean(results[-1].predictions)
+        assert tail_rate < 0.2
+
+    def test_observe_batch_skips_drift_episodes(self, fitted_detector):
+        manager = LifecycleManager(FullRefit(), min_refit_rows=10)
+        X = np.zeros((8, 5))
+        scores = np.zeros(8)
+        from repro.serve.drift import DriftReport
+
+        calm = DriftReport(
+            drifted=False, score_shift=0.0, feature_shift=0.0,
+            threshold=0.5, n_samples_seen=100,
+        )
+        fired = DriftReport(
+            drifted=True, score_shift=2.0, feature_shift=0.0,
+            threshold=0.5, n_samples_seen=100,
+        )
+        cooling = DriftReport(
+            drifted=False, score_shift=2.0, feature_shift=0.0,
+            threshold=0.5, n_samples_seen=100, in_cooldown=True,
+        )
+        assert manager.observe_batch(X, scores, 1.0, calm) == 8
+        assert manager.observe_batch(X, scores, 1.0, fired) == 0
+        # cooldown batches ARE admitted: under a persistent shift every batch
+        # sits in a cooldown-or-refire episode, and excluding them would
+        # starve the refit window forever (deadlocking the lifecycle)
+        assert manager.observe_batch(X, scores, 1.0, cooling) == 8
+        assert manager.observe_batch(X, scores, 1.0, None) == 8
+
+
+# ---------------------------------------------------------------------------
+# DriftMonitor rebootstrap regression (the hot-swap bugfix)
+# ---------------------------------------------------------------------------
+class TestDriftMonitorRebootstrap:
+    def _fired_monitor(self, rng, **kwargs):
+        pre = rng.normal(size=(400, 3))
+        post = pre + 6.0
+        monitor = DriftMonitor(window=128, min_samples=64, cooldown=0, **kwargs)
+        monitor.set_reference(np.linspace(0, 1, 400), pre)
+        report = monitor.update(np.linspace(0, 1, 400), post)
+        assert report.drifted
+        return monitor, post
+
+    def test_rebootstrap_clears_both_references(self, rng):
+        monitor, post = self._fired_monitor(rng)
+        monitor.reset(rebootstrap=True)
+        assert monitor._score_ref is None and monitor._feature_ref is None
+        # the still-shifted (now expected) traffic re-becomes the reference
+        # instead of re-firing drift forever
+        reports = [
+            monitor.update(np.linspace(0, 1, 400), post) for _ in range(5)
+        ]
+        assert not any(r.drifted for r in reports)
+
+    def test_score_only_reset_kept_the_stale_feature_reference(self, rng):
+        # the pre-fix swap path: without rebootstrap the feature reference
+        # survives and the same shifted traffic immediately re-fires
+        monitor, post = self._fired_monitor(rng)
+        monitor.reset(clear_score_reference=True)
+        assert monitor._feature_ref is not None
+        reports = [
+            monitor.update(np.linspace(0, 1, 400), post) for _ in range(5)
+        ]
+        assert any(r.drifted for r in reports)
+
+    def test_reload_detector_rebootstraps_and_bumps_epoch(self, rng, fitted_detector):
+        monitor, _ = self._fired_monitor(rng)
+        service = DetectionService(
+            fitted_detector, threshold="rolling", drift_monitor=monitor
+        )
+        assert service.epoch_ == 0
+        service.reload_detector(clone_model(fitted_detector))
+        assert service.epoch_ == 1
+        assert monitor._score_ref is None and monitor._feature_ref is None
+
+    def test_reload_detector_can_keep_feature_reference(self, rng, fitted_detector):
+        # rebootstrap=False: the path for re-serving a possibly stale model
+        # (make_registry_reload's default) — the score scale resets but a
+        # persistent covariate shift must keep re-firing
+        monitor, _ = self._fired_monitor(rng)
+        service = DetectionService(
+            fitted_detector, threshold="rolling", drift_monitor=monitor
+        )
+        service.reload_detector(clone_model(fitted_detector), rebootstrap=False)
+        assert service.epoch_ == 1
+        assert monitor._score_ref is None
+        assert monitor._feature_ref is not None
+
+
+# ---------------------------------------------------------------------------
+# Registry retention + snapshot integrity (satellites)
+# ---------------------------------------------------------------------------
+class TestRegistryLifecycle:
+    def test_gc_keeps_newest_and_pinned(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        for _ in range(5):
+            registry.publish(fitted_detector, "ids")
+        registry.pin("ids", 2)
+        deleted = registry.gc("ids", keep=2)
+        assert [info.version for info in deleted] == [1, 3]
+        assert registry.versions("ids") == [2, 4, 5]
+        assert registry.load("ids", 2) is not None  # pinned survived intact
+
+    def test_gc_all_models_and_validation(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        for name in ("a", "b"):
+            for _ in range(3):
+                registry.publish(fitted_detector, name)
+        deleted = registry.gc(keep=1)
+        assert {(info.name, info.version) for info in deleted} == {
+            ("a", 1), ("a", 2), ("b", 1), ("b", 2),
+        }
+        with pytest.raises(ValueError, match="keep"):
+            registry.gc(keep=0)
+
+    def test_manifest_carries_artifact_hash(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        info = registry.publish(fitted_detector, "ids")
+        artifacts = info.manifest["artifacts"]
+        assert set(artifacts) == {"arrays.npz"}
+        assert len(artifacts["arrays.npz"]["sha256"]) == 64
+
+    def test_corrupted_arrays_rejected_on_load(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        info = registry.publish(fitted_detector, "ids")
+        arrays = info.path / "arrays.npz"
+        blob = bytearray(arrays.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        arrays.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="sha256 .* does not match"):
+            registry.load("ids")
+
+    def test_missing_artifact_rejected_on_load(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        info = registry.publish(fitted_detector, "ids")
+        (info.path / "arrays.npz").unlink()
+        with pytest.raises(SnapshotError, match="missing artifact"):
+            registry.load("ids")
+
+    def test_cli_gc_rejects_positional_version(self, tmp_path, fitted_detector):
+        # `registry gc name 3` must not silently run with --keep's default
+        from repro.serve.cli import main
+
+        ModelRegistry(tmp_path).publish(fitted_detector, "ids")
+        with pytest.raises(SystemExit, match="no version argument"):
+            main(["registry", "gc", "ids", "3", "--registry", str(tmp_path)])

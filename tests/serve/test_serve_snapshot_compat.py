@@ -1,0 +1,87 @@
+"""Snapshot format compatibility: the committed golden fixture must keep
+loading, and manifests from a *newer* format must be rejected helpfully.
+
+``tests/serve/data/golden_snapshot_v1`` is a committed ``format_version: 1``
+snapshot (a MahalanobisDetector fit on seeded data) whose manifest metadata
+records the scores the fixture produced when it was written.  Any change to
+the snapshot codec that breaks loading or alters the scores of an existing
+on-disk model fails here — the forward-compatibility contract deployments
+rely on when they upgrade the package under a populated registry.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.novelty import MahalanobisDetector
+from repro.serve.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    load_snapshot,
+    read_manifest,
+    save_snapshot,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "golden_snapshot_v1"
+
+
+class TestGoldenSnapshot:
+    def test_fixture_is_format_version_1(self):
+        manifest = read_manifest(GOLDEN)
+        assert manifest["format_version"] == 1
+        # the committed fixture also carries the integrity hash
+        assert "arrays.npz" in manifest["artifacts"]
+
+    def test_golden_snapshot_keeps_loading(self):
+        detector = load_snapshot(GOLDEN, expected_class=MahalanobisDetector)
+        manifest = read_manifest(GOLDEN)
+        metadata = manifest["metadata"]
+        assert detector.threshold_ == pytest.approx(
+            metadata["expected_threshold"], rel=1e-12
+        )
+        # regenerate the evaluation rows exactly as the fixture generator did
+        rng = np.random.default_rng(metadata["eval_seed"])
+        rng.normal(size=(200, 5))  # the training draw precedes the eval draw
+        X_eval = rng.normal(size=(16, 5))
+        np.testing.assert_allclose(
+            detector.score_samples(X_eval),
+            np.asarray(metadata["expected_scores"]),
+            rtol=1e-9,
+        )
+
+    def test_current_writer_still_emits_version_1(self, tmp_path):
+        # Bumping SNAPSHOT_FORMAT_VERSION must come with a new golden fixture
+        # for the old version; this pin makes that step impossible to forget.
+        assert SNAPSHOT_FORMAT_VERSION == 1
+        detector = load_snapshot(GOLDEN)
+        path = save_snapshot(detector, tmp_path / "resaved")
+        assert read_manifest(path)["format_version"] == 1
+
+
+class TestNewerFormatRejected:
+    def _with_format_version(self, tmp_path, version):
+        target = tmp_path / "snapshot"
+        shutil.copytree(GOLDEN, target)
+        manifest_path = target / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = version
+        manifest_path.write_text(json.dumps(manifest))
+        return target
+
+    def test_version_2_manifest_rejected_with_helpful_message(self, tmp_path):
+        target = self._with_format_version(tmp_path, 2)
+        with pytest.raises(SnapshotError) as excinfo:
+            load_snapshot(target)
+        message = str(excinfo.value)
+        assert "format version 2" in message
+        assert f"only understands up to {SNAPSHOT_FORMAT_VERSION}" in message
+
+    def test_invalid_version_rejected(self, tmp_path):
+        target = self._with_format_version(tmp_path, "two")
+        with pytest.raises(SnapshotError, match="invalid format version"):
+            read_manifest(target)
