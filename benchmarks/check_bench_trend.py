@@ -6,15 +6,19 @@ repository root and exits non-zero when any shared entry regressed by more
 than ``--threshold`` (default 20%) in ``samples_per_sec``, or when a
 previously benchmarked model disappeared.  New entries are informational.
 
-Three sections are guarded: the single-core inference numbers under
+Four sections are guarded: the single-core inference numbers under
 ``"results"``, the multi-core numbers under ``"parallel" -> "results"``
-(written by ``run_parallel_bench.py``) and the refit/swap costs under
-``"lifecycle" -> "results"`` (written by ``run_lifecycle_bench.py``); the
-extra sections are reported with a ``parallel:`` / ``lifecycle:`` name
-prefix.  A fresh payload that omits an extra section entirely skips that
-comparison with a note — so a quick sequential-only measurement stays
-usable — but once both sides carry a section, a vanished or slowed entry
-fails the check like any other.
+(written by ``run_parallel_bench.py``), the refit/swap costs under
+``"lifecycle" -> "results"`` and the double-scoring costs under
+``"shadow" -> "results"`` (both written by ``run_lifecycle_bench.py``); the
+extra sections are reported with a ``parallel:`` / ``lifecycle:`` /
+``shadow:`` name prefix.  A fresh payload that omits an extra section
+entirely skips that comparison with a note — so a quick sequential-only
+measurement stays usable — but once both sides carry a section, a vanished
+or slowed entry fails the check like any other.  An entry whose baseline
+carries no usable ``samples_per_sec`` (missing, non-numeric, zero or
+negative) is reported as a note instead of crashing the gate or silently
+passing.
 
 Usage::
 
@@ -27,11 +31,28 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 DEFAULT_BASELINE = BENCH_DIR.parent / "BENCH_inference.json"
+
+
+def _usable_rate(entry: dict) -> float | None:
+    """The entry's ``samples_per_sec`` as a positive finite float, else ``None``.
+
+    A hand-edited or half-written benchmark file can carry a missing key, a
+    string, ``NaN`` or ``0.0`` — none of which supports a meaningful relative
+    comparison (and a zero baseline used to crash the gate with a division).
+    """
+    try:
+        rate = float(entry["samples_per_sec"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if not math.isfinite(rate) or rate <= 0.0:
+        return None
+    return rate
 
 
 def compare_bench(
@@ -52,7 +73,13 @@ def compare_bench(
         baseline_results: dict, fresh_results: dict, prefix: str
     ) -> None:
         for name in sorted(baseline_results):
-            base_rate = float(baseline_results[name]["samples_per_sec"])
+            base_rate = _usable_rate(baseline_results[name])
+            if base_rate is None:
+                notes.append(
+                    f"baseline entry {prefix}{name} has no usable "
+                    "samples_per_sec (missing/zero/non-numeric); skipping it"
+                )
+                continue
             if name not in fresh_results:
                 regressions.append(
                     {
@@ -63,8 +90,20 @@ def compare_bench(
                     }
                 )
                 continue
-            fresh_rate = float(fresh_results[name]["samples_per_sec"])
-            change = (fresh_rate - base_rate) / base_rate if base_rate > 0 else 0.0
+            fresh_rate = _usable_rate(fresh_results[name])
+            if fresh_rate is None:
+                # A fresh run that produced garbage cannot prove it did not
+                # regress — fail it like a vanished entry.
+                regressions.append(
+                    {
+                        "name": prefix + name,
+                        "baseline": base_rate,
+                        "fresh": None,
+                        "change": None,
+                    }
+                )
+                continue
+            change = (fresh_rate - base_rate) / base_rate
             if change < -threshold:
                 regressions.append(
                     {
@@ -82,6 +121,7 @@ def compare_bench(
     for section, runner in (
         ("parallel", "run_parallel_bench.py"),
         ("lifecycle", "run_lifecycle_bench.py"),
+        ("shadow", "run_lifecycle_bench.py"),
     ):
         baseline_section = baseline.get(section, {}).get("results", {})
         fresh_section = fresh.get(section)
@@ -112,6 +152,7 @@ def _measure_fresh() -> dict:
     payload = run_inference_bench.run_bench()
     payload["parallel"] = run_parallel_bench.run_bench()
     payload["lifecycle"] = run_lifecycle_bench.run_bench()
+    payload["shadow"] = run_lifecycle_bench.run_shadow_bench()
     return payload
 
 
@@ -150,7 +191,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"throughput regressions (> {args.threshold:.0%} drop):")
     for entry in regressions:
         if entry["fresh"] is None:
-            print(f"  {entry['name']}: missing from fresh results")
+            print(f"  {entry['name']}: missing or unusable in fresh results")
         else:
             print(
                 f"  {entry['name']}: {entry['baseline']:,.0f} -> {entry['fresh']:,.0f} "

@@ -17,8 +17,13 @@ def pytest_collection_modifyitems(config, items):
     """Mark everything under benchmarks/ as ``bench``.
 
     The default addopts (``-m 'not bench'``) then keep the tier-1 run fast;
-    ``pytest benchmarks -m bench`` runs the benchmark suite.
+    ``pytest benchmarks -m bench`` runs the benchmark suite.  Tests that
+    explicitly carry the ``tier1`` marker are exempt: they are cheap tooling
+    guards (syntax/trend-check self-tests) that must run in the default
+    tier-1 pass so a broken bench writer cannot land unnoticed.
     """
     for item in items:
-        if str(item.fspath).startswith(str(_BENCH_DIR)):
+        if str(item.fspath).startswith(str(_BENCH_DIR)) and not item.get_closest_marker(
+            "tier1"
+        ):
             item.add_marker(pytest.mark.bench)

@@ -20,6 +20,15 @@ it does for single-core inference (``results``) and the parallel layer
 * ``coordinated_swap[process,w=N]`` — the process-mode equivalent: publishing
   the new epoch's snapshot the worker processes will load.
 
+A second, separately trend-checked ``"shadow"`` section records what shadow
+evaluation (:mod:`repro.serve.lifecycle.shadow`) costs while a trial runs —
+the serving loop scores every batch twice:
+
+* ``single_score[iforest]`` — the plain micro-batched scoring baseline;
+* ``shadow_round[iforest]`` — live + candidate double-scoring plus the
+  trial's agreement-statistics update, i.e. one full shadow round (the
+  ``overhead_vs_single`` field makes the ratio explicit).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_lifecycle_bench.py \
@@ -39,7 +48,7 @@ import numpy as np
 
 from repro._version import __version__
 from repro.novelty import IsolationForest
-from repro.serve.lifecycle import FullRefit, WindowBuffer
+from repro.serve.lifecycle import FullRefit, ShadowEvaluator, WindowBuffer
 from repro.serve.parallel import ShardedDetectionService
 from repro.serve.service import DetectionService
 from repro.serve.snapshot import save_snapshot
@@ -150,17 +159,81 @@ def run_bench(
     }
 
 
-def write_report(payload: dict[str, object], output: Path = DEFAULT_OUTPUT) -> Path:
-    """Merge the lifecycle payload into the benchmark file's ``lifecycle`` key.
+def run_shadow_bench(
+    *,
+    batch: int = 1024,
+    n_features: int = 16,
+    n_repeats: int = 3,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Measure the per-round cost of shadow evaluation (double-scoring).
 
-    The ``results`` and ``parallel`` sections are left untouched, so any of
-    the three benchmarks can be refreshed independently.
+    Returns the ``"shadow"`` payload for ``BENCH_inference.json``.
+    """
+    rng = np.random.default_rng(seed)
+    train = rng.normal(size=(2000, n_features))
+    live = IsolationForest(
+        n_estimators=50, max_samples=256, random_state=seed
+    ).fit(train)
+    candidate = IsolationForest(
+        n_estimators=50, max_samples=256, random_state=seed + 1
+    ).fit(train)
+    service = DetectionService(live, threshold="auto")
+    X = rng.normal(size=(batch, n_features))
+    threshold = float(live.threshold_)
+    # A round budget far above the timed repeats keeps the trial open for
+    # every observation, so the stats update is measured on a live trial.
+    trial = ShadowEvaluator(rounds=10**9, min_samples=2).begin(candidate)
+
+    single_s = _best_time(lambda: service._score_micro_batched(X), n_repeats)
+
+    def _shadow_round() -> None:
+        live_scores = service._score_micro_batched(X)
+        candidate_scores = service._score_micro_batched(X, candidate)
+        trial.observe(live_scores, threshold, candidate_scores)
+
+    double_s = _best_time(_shadow_round, n_repeats)
+    results: dict[str, object] = {
+        "single_score[iforest]": {
+            "samples_per_sec": batch / single_s,
+            "round_latency_s": single_s,
+        },
+        "shadow_round[iforest]": {
+            "samples_per_sec": batch / double_s,
+            "round_latency_s": double_s,
+            "overhead_vs_single": double_s / single_s,
+        },
+    }
+    return {
+        "benchmark": "shadow_overhead",
+        "version": __version__,
+        "config": {
+            "batch": batch,
+            "n_features": n_features,
+            "n_repeats": n_repeats,
+            "seed": seed,
+        },
+        "results": results,
+    }
+
+
+def write_report(
+    payload: dict[str, object],
+    output: Path = DEFAULT_OUTPUT,
+    *,
+    section: str = "lifecycle",
+) -> Path:
+    """Merge ``payload`` into one section of the benchmark file.
+
+    All other sections (``results``, ``parallel``, and whichever of
+    ``lifecycle``/``shadow`` is not being written) are left untouched, so
+    every benchmark can be refreshed independently.
     """
     output = Path(output)
     document: dict[str, object] = {}
     if output.exists():
         document = json.loads(output.read_text())
-    document["lifecycle"] = payload
+    document[section] = payload
     output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return output
 
@@ -184,6 +257,10 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
     )
     path = write_report(payload, args.output)
+    shadow_payload = run_shadow_bench(
+        n_features=args.n_features, n_repeats=args.n_repeats, seed=args.seed
+    )
+    write_report(shadow_payload, args.output, section="shadow")
     for name, entry in payload["results"].items():
         line = f"{name:50s} {entry['samples_per_sec']:>12.0f} /s"
         if "refit_latency_s" in entry:
@@ -191,7 +268,12 @@ def main(argv: list[str] | None = None) -> int:
         if "swap_stall_s" in entry:
             line += f"  (stall {1e3 * entry['swap_stall_s']:.2f} ms)"
         print(line)
-    print(f"[lifecycle section written to {path}]")
+    for name, entry in shadow_payload["results"].items():
+        line = f"shadow:{name:43s} {entry['samples_per_sec']:>12.0f} /s"
+        if "overhead_vs_single" in entry:
+            line += f"  ({entry['overhead_vs_single']:.2f}x single-score)"
+        print(line)
+    print(f"[lifecycle + shadow sections written to {path}]")
     return 0
 
 

@@ -10,7 +10,12 @@ a slow swap would freeze every worker.
 
 from __future__ import annotations
 
-from run_lifecycle_bench import DEFAULT_OUTPUT, run_bench, write_report
+from run_lifecycle_bench import (
+    DEFAULT_OUTPUT,
+    run_bench,
+    run_shadow_bench,
+    write_report,
+)
 
 
 def test_bench_lifecycle_costs():
@@ -34,3 +39,17 @@ def test_bench_lifecycle_costs():
         f"coordinated_swap[process,w={n_workers}]",
     ):
         assert results[key]["swap_stall_s"] < 1.0, key
+
+
+def test_bench_shadow_overhead():
+    payload = run_shadow_bench(n_repeats=3)
+    path = write_report(payload, DEFAULT_OUTPUT, section="shadow")
+    print(f"[shadow section written to {path}]")
+
+    results = payload["results"]
+    for name, entry in results.items():
+        assert entry["samples_per_sec"] > 0.0, name
+    overhead = results["shadow_round[iforest]"]["overhead_vs_single"]
+    # double-scoring plus O(1) stats: roughly 2x a single score, never an
+    # order of magnitude (that would mean the stats update went quadratic)
+    assert overhead < 10.0, overhead

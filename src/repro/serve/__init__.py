@@ -38,6 +38,9 @@ from repro.serve.lifecycle import (
     NoRefit,
     QualityGate,
     RefitPolicy,
+    ShadowEvaluator,
+    ShadowTrial,
+    ShadowVerdict,
     WindowBuffer,
     clone_model,
 )
@@ -82,6 +85,9 @@ __all__ = [
     "QualityGate",
     "RefitPolicy",
     "ServiceReport",
+    "ShadowEvaluator",
+    "ShadowTrial",
+    "ShadowVerdict",
     "ShardedDetectionService",
     "SnapshotError",
     "SnapshotInfo",

@@ -22,10 +22,17 @@ Usage examples::
     repro serve --dataset wustl_iiot --detector iforest --threshold rolling \
         --registry ./models --publish --refit full --workers 4 --quorum 0.5
 
-    # inspect / pin / prune registry contents
+    # shadow evaluation: a gate-passed candidate is double-scored alongside
+    # the live model for N batches and only swaps on live-stream agreement
+    repro serve --dataset wustl_iiot --detector iforest --threshold rolling \
+        --registry ./models --publish --refit full \
+        --shadow-rounds 5 --shadow-min-agreement 0.6
+
+    # inspect / pin / prune registry contents, audit the swap lineage
     repro registry list --registry ./models
     repro registry pin knn-wustl_iiot 1 --registry ./models
     repro registry gc --keep 3 --registry ./models
+    repro registry history iforest-wustl_iiot --registry ./models
 
 (``repro`` is the console script registered in ``pyproject.toml``; the same
 commands work as ``python -m repro.experiments.cli ...``.)
@@ -57,8 +64,10 @@ from repro.serve.lifecycle import (
     ContinualRefit,
     FullRefit,
     LifecycleManager,
+    ShadowEvaluator,
     WindowBuffer,
 )
+from repro.serve.lifecycle.shadow import describe_agreement
 from repro.serve.parallel import ShardedDetectionService
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import DetectionService, make_registry_reload
@@ -140,6 +149,19 @@ def _parser() -> argparse.ArgumentParser:
         "drift monitors must vote before the parent coordinates a swap",
     )
     serve.add_argument(
+        "--shadow-rounds", type=int, default=0,
+        help="with --refit: double-score gate-passed candidates alongside "
+        "the live model for this many batches and only swap when the two "
+        "agree on live traffic (alert overlap + score-rank correlation); "
+        "0 disables shadow evaluation (candidates swap right after the gate)",
+    )
+    serve.add_argument(
+        "--shadow-min-agreement", type=float, default=None,
+        help="minimum rate-matched alert-decision overlap a shadowed "
+        "candidate needs to earn the swap (fraction in (0, 1], default 0.6); "
+        "only meaningful together with --shadow-rounds",
+    )
+    serve.add_argument(
         "--drift-strength", type=float, default=2.0,
         help="covariate drift injected over the stream (0 disables)",
     )
@@ -168,7 +190,9 @@ def _parser() -> argparse.ArgumentParser:
     )
 
     registry = sub.add_parser("registry", help="inspect, pin or prune registry contents")
-    registry.add_argument("action", choices=["list", "show", "pin", "unpin", "gc"])
+    registry.add_argument(
+        "action", choices=["list", "show", "pin", "unpin", "gc", "history"]
+    )
     registry.add_argument("name", nargs="?", default=None)
     registry.add_argument("version", nargs="?", default=None)
     registry.add_argument("--registry", type=Path, required=True)
@@ -192,6 +216,28 @@ def _make_drift_monitor(ref_scores: np.ndarray, ref_X: np.ndarray) -> DriftMonit
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    # Validate the shadow flags before any dataset/fit work: a flag typo must
+    # not cost a training run (nor surface as a raw ValueError traceback).
+    if args.shadow_rounds:
+        if args.shadow_rounds < 0:
+            raise SystemExit("--shadow-rounds must be non-negative")
+        if args.refit == "off":
+            raise SystemExit(
+                "--shadow-rounds requires --refit (shadow evaluation judges "
+                "refit candidates against live traffic)"
+            )
+        if args.shadow_min_agreement is not None and not (
+            0.0 < args.shadow_min_agreement <= 1.0
+        ):
+            raise SystemExit(
+                "--shadow-min-agreement must be a fraction in (0, 1]"
+            )
+    elif args.shadow_min_agreement is not None:
+        raise SystemExit(
+            "--shadow-min-agreement has no effect without --shadow-rounds N "
+            "(shadow evaluation is disabled; candidates would swap right "
+            "after the quality gate)"
+        )
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     normal = dataset.normal_data()
     registry = ModelRegistry(args.registry) if args.registry is not None else None
@@ -268,17 +314,34 @@ def _run_serve(args: argparse.Namespace) -> int:
                 if reload_selector is not None
                 else f"{args.detector}-{dataset.name}"
             )
+        shadow = None
+        if args.shadow_rounds:
+            shadow = ShadowEvaluator(
+                rounds=args.shadow_rounds,
+                **(
+                    {"min_agreement": args.shadow_min_agreement}
+                    if args.shadow_min_agreement is not None
+                    else {}
+                ),
+            )
         lifecycle = LifecycleManager(
             policy,
             buffer=WindowBuffer(args.refit_window),
             registry=registry,
             model_name=model_name,
             serving_version=serving_version,
+            shadow=shadow,
             sinks=sinks,
         )
         republish = "republishing" if registry is not None else "not republishing"
+        shadowing = (
+            f", shadow={shadow.rounds} rounds "
+            f"(min agreement {shadow.min_agreement:.0%})"
+            if shadow is not None
+            else ""
+        )
         print(f"online refit on drift: policy={args.refit}, "
-              f"window={args.refit_window} rows, {republish}")
+              f"window={args.refit_window} rows, {republish}{shadowing}")
 
     if args.workers > 1:
         if args.reload_on_drift:
@@ -345,9 +408,12 @@ def _run_serve(args: argparse.Namespace) -> int:
                 else ""
             )
             reason = f" ({event.reason})" if event.reason else ""
+            agreement = (
+                f" [{event.shadow.describe()}]" if event.shadow is not None else ""
+            )
             print(
                 f"lifecycle: {event.action} on {event.n_window_rows} clean "
-                f"rows -> {outcome} (epoch {event.epoch}{version}){reason}"
+                f"rows -> {outcome} (epoch {event.epoch}{version}){agreement}{reason}"
             )
         if not lifecycle.events:
             print("lifecycle: no drift fired; model unchanged")
@@ -380,6 +446,40 @@ def _run_registry(args: argparse.Namespace) -> int:
         return 0
     if args.name is None:
         raise SystemExit(f"registry {args.action} requires a model name")
+    if args.action == "history":
+        if args.version is not None:
+            raise SystemExit(
+                "registry history takes no version argument; the lineage "
+                "file spans every version of the model"
+            )
+        if not registry.versions(args.name) and not registry.history_path(
+            args.name
+        ).is_file():
+            raise SystemExit(
+                f"model {args.name!r} has no published versions or recorded "
+                f"history in {registry.root}"
+            )
+        events = registry.history(args.name)
+        for index, event in enumerate(events):
+            action = event.get("action", "?")
+            outcome = "swapped" if event.get("swapped") else "kept current model"
+            version = (
+                f", published v{event['published_version']}"
+                if event.get("published_version") is not None
+                else ""
+            )
+            shadow = event.get("shadow")
+            agreement = (
+                f" [{describe_agreement(shadow.get('alert_agreement'), shadow.get('rank_correlation'))}]"
+                if shadow
+                else ""
+            )
+            print(
+                f"[{index}] {action} -> {outcome} "
+                f"(epoch {event.get('epoch', 0)}{version}){agreement}"
+            )
+        print(f"{len(events)} lifecycle event(s) recorded for {args.name}")
+        return 0
     if args.action == "show":
         info = registry.resolve(args.name, args.version)
         manifest = info.manifest

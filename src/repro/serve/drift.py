@@ -47,6 +47,10 @@ class _RingBuffer:
         self.count = min(self.count + n, capacity)
 
     def mean(self) -> np.ndarray:
+        if self.count == 0:
+            # NumPy would emit "Mean of empty slice" and return NaN; a loud
+            # error beats NaN statistics leaking into thresholds or shifts.
+            raise ValueError("mean of an empty window")
         return self._data[: self.count].mean(axis=0)
 
     def values(self) -> np.ndarray:
@@ -63,6 +67,10 @@ class DriftReport:
     feature_shift: float
     threshold: float
     n_samples_seen: int
+    #: Whether the monitor was suppressing firings during this update — true
+    #: for *every* update inside the post-firing cooldown, not only the ones
+    #: whose shift re-exceeded the threshold, so sinks see the monitor's
+    #: actual state (a quiet cooldown update is still a muted monitor).
     in_cooldown: bool = False
 
     def to_dict(self) -> dict:
@@ -230,5 +238,5 @@ class DriftMonitor:
             feature_shift=feature_shift,
             threshold=self.threshold,
             n_samples_seen=self._n_seen,
-            in_cooldown=in_cooldown and exceeded,
+            in_cooldown=in_cooldown,
         )

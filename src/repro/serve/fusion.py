@@ -131,6 +131,7 @@ class FusionDetector(NoveltyDetector):
         """``(n_samples, n_detectors)`` standardized per-member scores."""
         check_fitted(self, "loc_")
         X = check_array(X, name="X", allow_empty=True)
+        check_n_features(X, self.n_features_, fitted_with="fusion was calibrated")
         if X.shape[0] == 0:
             return np.empty((0, len(self.detectors)))
         raw = np.column_stack(

@@ -12,8 +12,11 @@ served model — coordinated across every worker of a sharded deployment.
   :class:`ContinualRefit` / :class:`NoRefit` refit strategies,
 * :mod:`repro.serve.lifecycle.gate` — :class:`QualityGate`, the
   score-distribution sanity check a candidate must pass before publishing,
+* :mod:`repro.serve.lifecycle.shadow` — :class:`ShadowEvaluator`, the
+  opt-in live-traffic trial: gate-passed candidates are double-scored
+  alongside the live model for a round budget and only swap on agreement,
 * :mod:`repro.serve.lifecycle.manager` — :class:`LifecycleManager`, which
-  composes buffer + policy + gate + registry and drives the swap.
+  composes buffer + policy + gate + shadow + registry and drives the swap.
 
 Wire a manager into :class:`~repro.serve.service.DetectionService` via its
 ``lifecycle=`` parameter, or into
@@ -31,6 +34,7 @@ from repro.serve.lifecycle.policy import (
     RefitPolicy,
     clone_model,
 )
+from repro.serve.lifecycle.shadow import ShadowEvaluator, ShadowTrial, ShadowVerdict
 
 __all__ = [
     "ContinualRefit",
@@ -41,6 +45,9 @@ __all__ = [
     "NoRefit",
     "QualityGate",
     "RefitPolicy",
+    "ShadowEvaluator",
+    "ShadowTrial",
+    "ShadowVerdict",
     "WindowBuffer",
     "clone_model",
 ]

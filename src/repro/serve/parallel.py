@@ -37,6 +37,15 @@ publishes, and swaps all workers to the new model.  Swaps only ever happen
 between rounds, so within any round every shard scores with the same model
 epoch (:attr:`BatchResult.model_epoch`), in thread *and* process modes.
 
+When the lifecycle carries a shadow evaluator
+(:class:`~repro.serve.lifecycle.shadow.ShadowEvaluator`), a vote-coordinated
+refit does not swap immediately: every worker double-scores its shard's
+batches with the candidate (threads share the object; processes load a
+per-trial snapshot, cached like the served model), the parent merges the
+candidate scores back into **global order** and feeds one trial, and the
+verdict is applied at a round boundary — the ``shadow_pass`` swap (or
+``shadow_reject`` discard) is global and round-aligned in both modes.
+
 Worker modes
 ------------
 ``mode="thread"`` shares the fitted detector across worker threads
@@ -97,6 +106,11 @@ class _ShardState:
 #: check; only the latest model is retained per worker process.
 _WORKER_MODEL: tuple[str, Any] | None = None
 
+#: Per-process shadow-candidate cache, same path-keyed scheme: each shadow
+#: trial publishes one candidate snapshot, so only the current trial's model
+#: is retained per worker process.
+_WORKER_SHADOW: tuple[str, Any] | None = None
+
 
 def _score_round_in_subprocess(
     snapshot_path: str,
@@ -104,24 +118,45 @@ def _score_round_in_subprocess(
     service_kwargs: dict,
     state: _ShardState,
     items: list[tuple[int, np.ndarray]],
-) -> tuple[list[tuple[int, BatchResult]], _ShardState]:
+    shadow_snapshot_path: str | None = None,
+) -> tuple[list[tuple[int, BatchResult, np.ndarray | None]], _ShardState]:
     """Worker-process entry point: score one shard's slice of one round.
 
     Module-level so it pickles.  Loads the snapshot once per (process, path)
     and rebuilds the shard's :class:`DetectionService` around the shipped
     state; returns the results plus the updated state so the next round
-    continues where this one left off.
+    continues where this one left off.  With a pending shadow trial the
+    candidate snapshot is loaded the same way and every batch is
+    double-scored; the candidate scores ride back with the results so the
+    *parent* can merge them in global order and judge the trial.
     """
-    global _WORKER_MODEL
+    global _WORKER_MODEL, _WORKER_SHADOW
     if _WORKER_MODEL is None or _WORKER_MODEL[0] != snapshot_path:
         _WORKER_MODEL = (snapshot_path, load_snapshot(snapshot_path))
+    shadow_model = None
+    if shadow_snapshot_path is None:
+        # The trial resolved (or none is running): drop the dead candidate
+        # instead of pinning a full model per worker for the stream's rest.
+        _WORKER_SHADOW = None
+    else:
+        if _WORKER_SHADOW is None or _WORKER_SHADOW[0] != shadow_snapshot_path:
+            _WORKER_SHADOW = (shadow_snapshot_path, load_snapshot(shadow_snapshot_path))
+        shadow_model = _WORKER_SHADOW[1]
     service = DetectionService(
         _WORKER_MODEL[1], drift_monitor=state.monitor, **service_kwargs
     )
     service.epoch_ = epoch
     if state.rolling is not None:
         service._rolling = state.rolling
-    results = [(g, service.process_batch(X)) for g, X in items]
+    results = []
+    for g, X in items:
+        result = service.process_batch(X)
+        shadow_scores = (
+            service._score_micro_batched(X, shadow_model)
+            if shadow_model is not None and X.shape[0]
+            else None
+        )
+        results.append((g, result, shadow_scores))
     # The rolling window only exists for threshold="rolling"; shipping the
     # (otherwise never-read) backing array back and forth every round would
     # pickle rolling_window floats per shard for nothing.
@@ -311,8 +346,14 @@ class ShardedDetectionService:
         per_batch: dict[int, BatchResult],
         batch_X: dict[int, np.ndarray],
         shard_of: dict[int, int],
+        shadow_by_batch: dict[int, np.ndarray] | None = None,
     ) -> Iterator[BatchResult]:
-        """Re-serialize shard results into global order; emit, count, vote."""
+        """Re-serialize shard results into global order; emit, count, vote.
+
+        Per-shard shadow (candidate) scores are folded into the parent's
+        trial here, batch by batch in global order, so the agreement verdict
+        is a single global one — round-aligned, never per shard.
+        """
         for g in sorted(per_batch):
             shard_result = per_batch[g]
             offset = self.n_samples_
@@ -337,6 +378,12 @@ class ShardedDetectionService:
                 self.lifecycle.observe_batch(
                     batch_X[g], shard_result.scores, shard_result.threshold, drift
                 )
+                if shadow_by_batch is not None and g in shadow_by_batch:
+                    self.lifecycle.observe_shadow(
+                        shard_result.scores,
+                        shard_result.threshold,
+                        shadow_by_batch[g],
+                    )
             self.n_batches_ += 1
             self.n_samples_ += shard_result.n_samples
             self.n_alerts_ += len(alerts)
@@ -368,8 +415,19 @@ class ShardedDetectionService:
         """
         if self.lifecycle is None or len(self._drift_votes) < self._votes_needed:
             return None, False
+        if getattr(self.lifecycle, "shadow_pending", lambda: False)():
+            # A candidate is already under shadow; keep the votes — they are
+            # cleared when the trial resolves (see _resolve_shadow), so a
+            # pre-swap signal cannot immediately re-trigger a refit after it.
+            return None, False
         self._drift_votes.clear()
         candidate, event = self.lifecycle.produce_candidate(self.detector)
+        event = self._apply_swap(candidate, event)
+        return candidate, event.action == "refit"
+
+    def _apply_swap(self, candidate: Any | None, event: Any) -> Any:
+        """Shared parent-side swap bookkeeping for vote and shadow decisions:
+        adopt the candidate (if any), bump epoch/counters, record the event."""
         if candidate is not None:
             self.detector = candidate
             self.epoch_ += 1
@@ -378,7 +436,46 @@ class ShardedDetectionService:
         else:
             event = replace(event, epoch=self.epoch_)
         self.lifecycle.record(event)
-        return candidate, event.action == "refit"
+        return event
+
+    def _resolve_shadow(self) -> tuple[Any | None, bool]:
+        """Apply a completed shadow verdict at a round boundary.
+
+        The trial was fed merged batches in global order during
+        :meth:`_merge_round`; resolving only between rounds keeps the swap
+        round-aligned — within any round every shard scores with one model
+        epoch, exactly like a coordinated vote swap.  Returns the candidate
+        every worker must swap to on ``shadow_pass`` (rebootstrap: it was
+        trained on the post-drift window), or ``None``.
+        """
+        if self.lifecycle is None:
+            return None, False
+        resolution = getattr(self.lifecycle, "shadow_resolution", lambda: None)()
+        if resolution is None:
+            return None, False
+        self._drift_votes.clear()
+        candidate, event = resolution
+        self._apply_swap(candidate, event)
+        return candidate, candidate is not None
+
+    def _boundary_swap(self) -> tuple[Any | None, bool]:
+        """Round-boundary lifecycle step: shadow verdict first, then votes.
+
+        A resolved trial takes precedence (its candidate was produced by an
+        earlier vote quorum); otherwise the accumulated votes may coordinate
+        a fresh refit — which, with a shadow evaluator, *starts* a trial
+        rather than returning a candidate to swap.
+        """
+        candidate, rebootstrap = self._resolve_shadow()
+        if candidate is not None:
+            return candidate, rebootstrap
+        return self._coordinate_swap()
+
+    def _shadow_detector(self) -> Any | None:
+        """The candidate the next round must double-score, or ``None``."""
+        if self.lifecycle is None:
+            return None
+        return getattr(self.lifecycle, "shadow_candidate", None)
 
     # -- thread mode -------------------------------------------------------------
     def _make_shard_service(self) -> DetectionService:
@@ -393,9 +490,20 @@ class ShardedDetectionService:
 
     @staticmethod
     def _score_shard(
-        service: DetectionService, items: list[tuple[int, np.ndarray]]
-    ) -> list[tuple[int, BatchResult]]:
-        return [(g, service.process_batch(X)) for g, X in items]
+        service: DetectionService,
+        items: list[tuple[int, np.ndarray]],
+        shadow_detector: Any | None = None,
+    ) -> list[tuple[int, BatchResult, np.ndarray | None]]:
+        results = []
+        for g, X in items:
+            result = service.process_batch(X)
+            shadow_scores = (
+                service._score_micro_batched(X, shadow_detector)
+                if shadow_detector is not None and X.shape[0]
+                else None
+            )
+            results.append((g, result, shadow_scores))
+        return results
 
     def _process_threaded(self, stream: Iterable[Any]) -> Iterator[BatchResult]:
         if self._shard_services is None:
@@ -416,16 +524,28 @@ class ShardedDetectionService:
                 ]
                 for g, X in round_items:
                     shards[shard_of[g]].append((g, X))
+                shadow_detector = self._shadow_detector()
                 futures = [
-                    pool.submit(self._score_shard, self._shard_services[s], items)
+                    pool.submit(
+                        self._score_shard,
+                        self._shard_services[s],
+                        items,
+                        shadow_detector,
+                    )
                     for s, items in enumerate(shards)
                     if items
                 ]
                 per_batch: dict[int, BatchResult] = {}
+                shadow_by_batch: dict[int, np.ndarray] = {}
                 for future in futures:
-                    per_batch.update(dict(future.result()))
-                yield from self._merge_round(per_batch, dict(round_items), shard_of)
-                candidate, rebootstrap = self._coordinate_swap()
+                    for g, result, shadow_scores in future.result():
+                        per_batch[g] = result
+                        if shadow_scores is not None:
+                            shadow_by_batch[g] = shadow_scores
+                yield from self._merge_round(
+                    per_batch, dict(round_items), shard_of, shadow_by_batch
+                )
+                candidate, rebootstrap = self._boundary_swap()
                 if candidate is not None:
                     # Every worker is idle between rounds: swap them all so
                     # the next round scores with one model epoch everywhere.
@@ -448,6 +568,9 @@ class ShardedDetectionService:
         with tempfile.TemporaryDirectory(prefix="repro-shard-") as tmp:
             snapshot_path = str(Path(tmp) / f"model_e{self.epoch_}")
             save_snapshot(self.detector, snapshot_path)
+            # One candidate snapshot per shadow trial (tag = trial counter);
+            # the workers cache it per path, exactly like the served model.
+            shadow_snapshot: tuple[int, str] | None = None
             with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
                 while True:
                     round_items = self._take_round(batches)
@@ -459,6 +582,14 @@ class ShardedDetectionService:
                     ]
                     for g, X in round_items:
                         shards[shard_of[g]].append((g, X))
+                    shadow_path: str | None = None
+                    if self._shadow_detector() is not None:
+                        tag = getattr(self.lifecycle, "n_shadow_trials_", 0)
+                        if shadow_snapshot is None or shadow_snapshot[0] != tag:
+                            path = str(Path(tmp) / f"shadow_t{tag}")
+                            save_snapshot(self._shadow_detector(), path)
+                            shadow_snapshot = (tag, path)
+                        shadow_path = shadow_snapshot[1]
                     futures = {
                         pool.submit(
                             _score_round_in_subprocess,
@@ -467,18 +598,23 @@ class ShardedDetectionService:
                             self._service_kwargs,
                             states[s],
                             items,
+                            shadow_path,
                         ): s
                         for s, items in enumerate(shards)
                         if items
                     }
                     per_batch: dict[int, BatchResult] = {}
+                    shadow_by_batch: dict[int, np.ndarray] = {}
                     for future, s in futures.items():
                         results, states[s] = future.result()
-                        per_batch.update(dict(results))
+                        for g, result, shadow_scores in results:
+                            per_batch[g] = result
+                            if shadow_scores is not None:
+                                shadow_by_batch[g] = shadow_scores
                     yield from self._merge_round(
-                        per_batch, dict(round_items), shard_of
+                        per_batch, dict(round_items), shard_of, shadow_by_batch
                     )
-                    candidate, rebootstrap = self._coordinate_swap()
+                    candidate, rebootstrap = self._boundary_swap()
                     if candidate is not None:
                         # Publish the new epoch's snapshot for the workers and
                         # reset every shard's model-scale-derived state, same

@@ -7,6 +7,7 @@ Layout::
             v1/            # snapshot (manifest.json + arrays.npz)
             v2/
             pin.json       # {"version": 1} when a version is pinned
+            history.jsonl  # lifecycle event lineage (one JSON object per line)
 
 Versions are monotonically increasing integers assigned by :meth:`publish`.
 ``resolve``/``load`` accept an explicit version, ``"latest"``, ``"pinned"``,
@@ -31,6 +32,7 @@ __all__ = ["ModelRegistry", "SnapshotInfo"]
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _VERSION_DIR = re.compile(r"^v(\d+)$")
 _PIN_FILE = "pin.json"
+_HISTORY_FILE = "history.jsonl"
 
 
 @dataclass(frozen=True)
@@ -131,6 +133,38 @@ class ModelRegistry:
         if not (path / "manifest.json").is_file():
             raise KeyError(f"model {name!r} has no version v{resolved} in {self.root}")
         return SnapshotInfo(name=name, version=resolved, path=path)
+
+    # -- lifecycle lineage -----------------------------------------------------
+    def history_path(self, name: str) -> Path:
+        """Path of ``name``'s lineage file (may not exist yet)."""
+        return self.root / _check_name(name) / _HISTORY_FILE
+
+    def append_history(self, name: str, payload: dict[str, Any]) -> Path:
+        """Append one lineage record (a JSON-serializable dict) for ``name``.
+
+        The lifecycle manager persists every :class:`LifecycleEvent` here
+        (``LifecycleEvent.to_dict()``), next to the versions the events
+        produced, so an operator can audit *why* each version was published
+        — or a candidate rejected — after the serving process has exited.
+        The file is append-only and survives :meth:`gc` (pruning old model
+        artifacts must not erase the audit trail).
+        """
+        path = self.history_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        return path
+
+    def history(self, name: str) -> list[dict[str, Any]]:
+        """Replay ``name``'s lineage records, oldest first (empty when none)."""
+        path = self.history_path(name)
+        if not path.is_file():
+            return []
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
 
     # -- mutation --------------------------------------------------------------
     def publish(

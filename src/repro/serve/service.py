@@ -196,9 +196,11 @@ class DetectionService:
         Optional :class:`~repro.serve.lifecycle.LifecycleManager` that owns
         the full drift reaction: every scored batch feeds its clean-window
         buffer, and when the monitor fires it refits, gates, publishes and
-        hot-swaps (see :mod:`repro.serve.lifecycle`).  Mutually exclusive
-        with ``on_drift`` — both reacting to the same firing would double
-        the swaps.
+        hot-swaps (see :mod:`repro.serve.lifecycle`).  With a configured
+        shadow evaluator the service double-scores each batch with the
+        pending candidate (same micro-batched scorer) and the swap waits for
+        the live-agreement verdict.  Mutually exclusive with ``on_drift`` —
+        both reacting to the same firing would double the swaps.
     """
 
     def __init__(
@@ -291,19 +293,25 @@ class DetectionService:
         X, self.n_features_ = _validate_stream_batch(X, self.n_features_)
         return X
 
-    def _score_micro_batched(self, X: np.ndarray) -> np.ndarray:
+    def _score_micro_batched(
+        self, X: np.ndarray, detector: Any | None = None
+    ) -> np.ndarray:
         """Score ``X`` in chunks of at most ``micro_batch_size`` rows.
 
         Row-wise detector scoring makes the concatenation identical to a
-        single ``score_samples(X)`` call while bounding peak memory.
+        single ``score_samples(X)`` call while bounding peak memory.  The
+        served model is used unless ``detector`` overrides it — the shadow
+        evaluation path double-scores each batch with the candidate through
+        this same scorer, so both models see identical chunking.
         """
+        detector = self.detector if detector is None else detector
         n = X.shape[0]
         if n <= self.micro_batch_size:
-            return np.asarray(self.detector.score_samples(X), dtype=np.float64)
+            return np.asarray(detector.score_samples(X), dtype=np.float64)
         scores = np.empty(n)
         for start in range(0, n, self.micro_batch_size):
             stop = min(start + self.micro_batch_size, n)
-            scores[start:stop] = self.detector.score_samples(X[start:stop])
+            scores[start:stop] = detector.score_samples(X[start:stop])
         return scores
 
     def _current_threshold(self, batch_scores: np.ndarray | None = None) -> float:
@@ -355,6 +363,14 @@ class DetectionService:
         batch_index = self.n_batches_
         offset = self.n_samples_
         model_epoch = self.epoch_  # a drift-triggered swap below must not retag
+        # Resolved before scoring: a trial that *starts* during this batch's
+        # drift reaction begins shadow-scoring on the next batch.
+        shadow_detector = (
+            getattr(self.lifecycle, "shadow_candidate", None)
+            if self.lifecycle is not None
+            else None
+        )
+        shadow_scores: np.ndarray | None = None
         accumulated = self.timer.total
         with self.timer:
             if X.shape[0]:
@@ -365,6 +381,10 @@ class DetectionService:
                 threshold = self._current_threshold(scores)
                 self._rolling.extend(scores[:, None])
                 predictions = (scores > threshold).astype(np.int64)
+                if shadow_detector is not None:
+                    # Double-scoring is the whole cost of a shadow round; it
+                    # counts toward the batch latency like any scoring work.
+                    shadow_scores = self._score_micro_batched(X, shadow_detector)
             else:
                 scores = np.empty(0, dtype=np.float64)
                 threshold = float("nan")
@@ -398,6 +418,11 @@ class DetectionService:
                 self.lifecycle.handle_drift(self, drift_report)
             elif self.on_drift is not None:
                 self.on_drift(self, drift_report)
+        # After the drift reaction (a pending trial makes handle_drift skip),
+        # feed the shadow trial; a completed trial swaps (shadow_pass) or
+        # discards the candidate (shadow_reject) — only then does epoch_ move.
+        if shadow_scores is not None and self.lifecycle is not None:
+            self.lifecycle.handle_shadow(self, scores, threshold, shadow_scores)
 
         self.n_batches_ += 1
         self.n_samples_ += int(scores.shape[0])

@@ -1,0 +1,23 @@
+"""Serve-suite configuration: numeric warnings are failures here.
+
+The serving loop feeds rolling statistics from live traffic, where
+degenerate inputs (zero-row batches, all-alert streams, empty refit windows)
+are routine rather than exceptional.  A ``RuntimeWarning`` (NumPy's "Mean of
+empty slice", invalid divides, ...) in this package means NaNs are leaking
+into thresholds or drift statistics, so every test under ``tests/serve`` is
+run with ``RuntimeWarning`` escalated to an error.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_SERVE_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if str(item.fspath).startswith(str(_SERVE_DIR)):
+            item.add_marker(pytest.mark.filterwarnings("error::RuntimeWarning"))

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.serve.drift import DriftMonitor, _RingBuffer
+from repro.serve.service import DriftEvent
+from repro.serve.sinks import JsonlSink
 
 
 class TestRingBuffer:
@@ -102,6 +106,30 @@ class TestDriftMonitor:
         report = monitor.update(rng.normal(size=64))
         assert report.n_samples_seen == 64
         assert not report.drifted
+
+    def test_quiet_cooldown_update_reports_in_cooldown(self, tmp_path):
+        # Regression: update() used to report `in_cooldown and exceeded`, so
+        # a quiet update during cooldown claimed in_cooldown=False even
+        # though the monitor was still suppressing firings.  The report (and
+        # anything sinking it) must reflect the monitor's actual state.
+        rng = np.random.default_rng(7)
+        monitor = DriftMonitor(window=64, threshold=0.5, min_samples=32, cooldown=5)
+        monitor.set_reference(rng.normal(size=500))
+        fired = monitor.update(rng.normal(loc=5.0, size=64))
+        assert fired.drifted and not fired.in_cooldown
+        # the window is fully replaced by normal data: shift decays below the
+        # threshold, yet the cooldown is still counting down
+        quiet = monitor.update(rng.normal(size=64))
+        assert not quiet.drifted
+        assert quiet.score_shift < monitor.threshold
+        assert quiet.in_cooldown
+
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        sink.emit(DriftEvent(batch_index=1, report=quiet))
+        sink.close()
+        payload = json.loads((tmp_path / "events.jsonl").read_text())
+        assert payload["in_cooldown"] is True
+        assert payload["drifted"] is False
 
     def test_report_serializes(self):
         monitor = DriftMonitor(min_samples=4)

@@ -51,6 +51,18 @@ class TestContract:
         with pytest.raises(ValueError, match="features"):
             fusion.score_samples(np.zeros((3, 7)))
 
+    def test_member_scores_rejects_wrong_width(self, data):
+        # Regression: member_scores skipped the width check score_samples
+        # performs, so a mismatched batch surfaced as a raw NumPy broadcast
+        # error (or silently wrong standardized scores when it broadcast).
+        X_train, X_normal, _ = data
+        fusion = FusionDetector(_members()).fit(X_train)
+        assert fusion.member_scores(X_normal).shape == (100, 3)
+        with pytest.raises(ValueError, match="features"):
+            fusion.member_scores(np.zeros((3, 7)))
+        with pytest.raises(ValueError, match="features"):
+            fusion.member_scores(np.empty((0, 7)))  # empty but still wrong
+
     def test_validation(self):
         with pytest.raises(ValueError, match="at least 2"):
             FusionDetector([MahalanobisDetector()])

@@ -499,3 +499,105 @@ class TestRegistryLifecycle:
         ModelRegistry(tmp_path).publish(fitted_detector, "ids")
         with pytest.raises(SystemExit, match="no version argument"):
             main(["registry", "gc", "ids", "3", "--registry", str(tmp_path)])
+
+
+# ---------------------------------------------------------------------------
+# Degenerate streams through the lifecycle path (satellite)
+# ---------------------------------------------------------------------------
+class TestDegenerateStreams:
+    """Zero-row batches and all-alert streams must stay NaN- and warning-free.
+
+    The whole tests/serve suite escalates RuntimeWarning to an error (see
+    conftest.py), so NumPy's "Mean of empty slice" in any rolling statistic
+    would fail these outright.
+    """
+
+    def _lifecycle_service(self, rng, threshold="rolling", **service_kwargs):
+        detector = IsolationForest(
+            n_estimators=20, random_state=0, threshold_quantile=0.9
+        ).fit(rng.normal(size=(500, 4)))
+        manager = LifecycleManager(
+            FullRefit(lambda: IsolationForest(
+                n_estimators=20, random_state=0, threshold_quantile=0.9
+            )),
+            buffer=WindowBuffer(256),
+            min_refit_rows=64,
+        )
+        monitor = DriftMonitor(window=128, min_samples=64, cooldown=4)
+        service = DetectionService(
+            detector,
+            threshold=threshold,
+            min_rolling=32,
+            drift_monitor=monitor,
+            lifecycle=manager,
+            **service_kwargs,
+        )
+        return service, manager
+
+    def test_zero_row_batches_interleaved(self, rng):
+        service, manager = self._lifecycle_service(rng)
+        empty = np.empty((0, 4))
+        batches = [empty]
+        for _ in range(6):
+            batches.append(rng.normal(size=(64, 4)))
+            batches.append(empty)
+        results = [service.process_batch(batch) for batch in batches]
+        report = service.report()
+        assert report.n_batches == len(batches)
+        assert report.n_samples == 6 * 64
+        # empty batches carry the nan marker but never reach the buffer
+        empties = [result for result in results if result.n_samples == 0]
+        assert len(empties) == 7
+        assert all(np.isnan(result.threshold) for result in empties)
+        assert manager.buffer.n_features == 4
+        # non-empty batches always derived a finite threshold
+        assert all(
+            np.isfinite(result.threshold)
+            for result in results
+            if result.n_samples
+        )
+
+    def test_zero_row_batches_with_active_shadow_trial(self, rng):
+        from repro.serve import ShadowEvaluator
+
+        service, manager = self._lifecycle_service(rng)
+        manager.shadow = ShadowEvaluator(rounds=2, min_samples=4)
+        manager.buffer.add(rng.normal(size=(200, 4)))
+        _, event = manager.produce_candidate(service.detector)
+        assert event.action == "shadow_start"
+        # empty batches while a trial is live: no round consumed, no warnings
+        service.process_batch(np.empty((0, 4)))
+        assert manager._shadow_trial.n_rounds_ == 0
+        service.process_batch(rng.normal(size=(64, 4)))
+        assert manager._shadow_trial.n_rounds_ == 1
+
+    def test_all_alert_stream_never_fills_window(self, rng):
+        # A threshold below every score marks the entire stream anomalous:
+        # the refit window must stay empty and the drift reaction must skip
+        # without NaN thresholds or empty-slice statistics anywhere.
+        from repro.serve import DriftReport
+
+        service, manager = self._lifecycle_service(rng, threshold=-1e9)
+        results = [
+            service.process_batch(rng.normal(size=(64, 4))) for _ in range(8)
+        ]
+        assert all(result.n_alerts == result.n_samples for result in results)
+        assert manager.buffer.count == 0
+        assert manager.buffer.n_rejected_ == 8 * 64
+        report = manager.handle_drift(
+            service,
+            DriftReport(
+                drifted=True, score_shift=9.0, feature_shift=0.0,
+                threshold=0.5, n_samples_seen=512,
+            ),
+        )
+        assert report.action == "skipped"
+        assert not report.swapped and service.epoch_ == 0
+
+    def test_empty_ring_buffer_mean_is_a_loud_error(self):
+        from repro.serve.drift import _RingBuffer
+
+        # Silent NaN statistics are the failure mode this suite guards
+        # against; an empty window must raise instead of warning.
+        with pytest.raises(ValueError, match="empty window"):
+            _RingBuffer(8, 2).mean()

@@ -74,6 +74,58 @@ class TestCompareBench:
             compare_bench(_payload(), _payload(), threshold=1.0)
 
 
+class TestUnusableEntries:
+    """Regression: a zero or missing baseline rate crashed (or silently
+    passed) the trend gate instead of reporting the entry."""
+
+    def test_zero_baseline_is_a_note_not_a_crash(self):
+        baseline = _payload(a=0.0, b=500.0)
+        fresh = _payload(a=1000.0, b=500.0)
+        regressions, notes = compare_bench(baseline, fresh, threshold=0.20)
+        assert regressions == []
+        assert notes and "a" in notes[0] and "usable" in notes[0]
+
+    def test_missing_baseline_rate_is_a_note_not_a_crash(self):
+        baseline = {"results": {"a": {"throughput": 1000.0}}}  # wrong key
+        fresh = _payload(a=1000.0)
+        regressions, notes = compare_bench(baseline, fresh, threshold=0.20)
+        assert regressions == []
+        assert notes and "no usable" in notes[0]
+
+    def test_non_numeric_and_negative_baselines_are_notes(self):
+        baseline = {
+            "results": {
+                "a": {"samples_per_sec": "fast"},
+                "b": {"samples_per_sec": -5.0},
+                "c": {"samples_per_sec": float("nan")},
+            }
+        }
+        fresh = _payload(a=1.0, b=1.0, c=1.0)
+        regressions, notes = compare_bench(baseline, fresh, threshold=0.20)
+        assert regressions == []
+        assert len(notes) == 3
+
+    def test_unusable_fresh_rate_is_a_regression(self):
+        # A fresh run that produced garbage cannot prove it did not regress.
+        baseline = _payload(a=1000.0)
+        fresh = {"results": {"a": {"samples_per_sec": 0.0}}}
+        regressions, _ = compare_bench(baseline, fresh, threshold=0.20)
+        assert [r["name"] for r in regressions] == ["a"]
+        assert regressions[0]["fresh"] is None
+
+    def test_shadow_section_guarded_with_prefix(self):
+        baseline = dict(
+            _payload(a=1000.0),
+            shadow={"results": {"shadow_round": {"samples_per_sec": 1000.0}}},
+        )
+        fresh = dict(
+            _payload(a=1000.0),
+            shadow={"results": {"shadow_round": {"samples_per_sec": 400.0}}},
+        )
+        regressions, _ = compare_bench(baseline, fresh, threshold=0.20)
+        assert [r["name"] for r in regressions] == ["shadow:shadow_round"]
+
+
 class TestParallelSection:
     def test_parallel_regression_flagged_with_prefix(self):
         baseline = _with_parallel(_payload(a=1000.0), sharded=1000.0)
