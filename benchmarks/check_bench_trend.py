@@ -122,6 +122,7 @@ def compare_bench(
         ("parallel", "run_parallel_bench.py"),
         ("lifecycle", "run_lifecycle_bench.py"),
         ("shadow", "run_lifecycle_bench.py"),
+        ("faults", "run_faults_bench.py"),
     ):
         baseline_section = baseline.get(section, {}).get("results", {})
         fresh_section = fresh.get(section)
@@ -144,6 +145,7 @@ def _measure_fresh() -> dict:
     # not a package, so import them by path.
     sys.path.insert(0, str(BENCH_DIR))
     try:
+        import run_faults_bench
         import run_inference_bench
         import run_lifecycle_bench
         import run_parallel_bench
@@ -153,6 +155,7 @@ def _measure_fresh() -> dict:
     payload["parallel"] = run_parallel_bench.run_bench()
     payload["lifecycle"] = run_lifecycle_bench.run_bench()
     payload["shadow"] = run_lifecycle_bench.run_shadow_bench()
+    payload["faults"] = run_faults_bench.run_bench()
     return payload
 
 

@@ -1,0 +1,164 @@
+"""Fault-tolerance overhead benchmark: what the safety net costs when idle.
+
+The fault layer (:mod:`repro.serve.faults`) sits on the serving hot path:
+every batch pays the poison-row scan, every event pays the resilient-sink
+wrapper, every registry I/O pays the retry wrapper, and every service start
+pays the recovery scan.  Each of those must stay cheap — a safety net that
+halves throughput would just get turned off.  This benchmark pins the costs
+under the ``"faults"`` key of ``BENCH_inference.json`` so
+``check_bench_trend.py`` fails the build when any of them regresses, exactly
+as it does for the other serving layers:
+
+* ``process_batch[clean]`` — full service scoring of a clean batch with the
+  always-on quarantine scan (``overhead_vs_raw_score`` makes the cost of
+  service bookkeeping + scan explicit against bare ``score_samples``);
+* ``process_batch[5% poison]`` — the same batch with 5% NaN rows, i.e. the
+  divert path: mask, emit ``quarantined_rows``, compact, score survivors;
+* ``resilient_sink.emit`` — events per second through the
+  :class:`~repro.serve.faults.ResilientSink` wrapper around a no-op sink;
+* ``call_with_retry[success]`` — the success-path cost of the retry wrapper
+  that guards every registry read/write;
+* ``registry_recovery_scan[v=N]`` — a cold :class:`ModelRegistry` start
+  over ``N`` intact versions (manifest + artifact-checksum verification),
+  reported as versions per second.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_faults_bench.py \
+        [--batch 4096] [--n-features 16] [--versions 4] \
+        [--output BENCH_inference.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro._version import __version__
+from repro.novelty import IsolationForest
+from repro.serve.faults import ResilientSink, call_with_retry
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import DetectionService
+from run_lifecycle_bench import DEFAULT_OUTPUT, _best_time, write_report
+
+__all__ = ["run_bench", "write_report", "DEFAULT_OUTPUT", "main"]
+
+
+class _NullSink:
+    def emit(self, event: object) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def run_bench(
+    *,
+    batch: int = 4096,
+    n_features: int = 16,
+    n_versions: int = 4,
+    n_repeats: int = 3,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Run the fault-overhead suite; returns the ``"faults"`` payload."""
+    rng = np.random.default_rng(seed)
+    train = rng.normal(size=(2000, n_features))
+    detector = IsolationForest(
+        n_estimators=50, max_samples=256, random_state=seed
+    ).fit(train)
+    clean = rng.normal(size=(batch, n_features))
+    poisoned = clean.copy()
+    poison_rows = rng.choice(batch, size=max(batch // 20, 1), replace=False)
+    poisoned[poison_rows, 0] = np.nan
+
+    results: dict[str, object] = {}
+
+    raw_s = _best_time(lambda: detector.score_samples(clean), n_repeats)
+    service = DetectionService(detector, threshold="auto", sinks=[_NullSink()])
+    clean_s = _best_time(lambda: service.process_batch(clean), n_repeats)
+    results["process_batch[clean]"] = {
+        "samples_per_sec": batch / clean_s,
+        "batch_latency_s": clean_s,
+        "overhead_vs_raw_score": clean_s / raw_s,
+    }
+
+    poison_service = DetectionService(
+        detector, threshold="auto", sinks=[_NullSink()]
+    )
+    poison_s = _best_time(lambda: poison_service.process_batch(poisoned), n_repeats)
+    results["process_batch[5% poison]"] = {
+        "samples_per_sec": batch / poison_s,
+        "batch_latency_s": poison_s,
+        "overhead_vs_clean": poison_s / clean_s,
+    }
+
+    sink = ResilientSink(_NullSink())
+    emit_s = _best_time(lambda: sink.emit("event"), n_repeats, n_inner=1000)
+    results["resilient_sink.emit"] = {"samples_per_sec": 1.0 / emit_s}
+
+    retry_s = _best_time(
+        lambda: call_with_retry(lambda: None), n_repeats, n_inner=1000
+    )
+    results["call_with_retry[success]"] = {"samples_per_sec": 1.0 / retry_s}
+
+    with tempfile.TemporaryDirectory(prefix="repro-faults-bench-") as tmp:
+        root = Path(tmp) / "registry"
+        seed_registry = ModelRegistry(root)
+        for _ in range(n_versions):
+            seed_registry.publish(detector, "bench")
+        scan_s = _best_time(lambda: ModelRegistry(root), n_repeats)
+    results[f"registry_recovery_scan[v={n_versions}]"] = {
+        "samples_per_sec": n_versions / scan_s,
+        "scan_latency_s": scan_s,
+    }
+
+    return {
+        "benchmark": "fault_tolerance_overhead",
+        "version": __version__,
+        "config": {
+            "batch": batch,
+            "n_features": n_features,
+            "n_versions": n_versions,
+            "n_repeats": n_repeats,
+            "seed": seed,
+        },
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batch", type=int, default=4096)
+    parser.add_argument("--n-features", type=int, default=16)
+    parser.add_argument("--versions", type=int, default=4)
+    parser.add_argument("--n-repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    if min(args.batch, args.n_features, args.versions, args.n_repeats) < 1:
+        parser.error("--batch, --n-features, --versions, --n-repeats must be >= 1")
+    payload = run_bench(
+        batch=args.batch,
+        n_features=args.n_features,
+        n_versions=args.versions,
+        n_repeats=args.n_repeats,
+        seed=args.seed,
+    )
+    path = write_report(payload, args.output, section="faults")
+    for name, entry in payload["results"].items():
+        line = f"{name:40s} {entry['samples_per_sec']:>12.0f} /s"
+        for key in ("overhead_vs_raw_score", "overhead_vs_clean"):
+            if key in entry:
+                line += f"  ({entry[key]:.2f}x {key.rsplit('_', 1)[-1]})"
+        if "scan_latency_s" in entry:
+            line += f"  (scan {1e3 * entry['scan_latency_s']:.1f} ms)"
+        print(line)
+    print(f"[faults section written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

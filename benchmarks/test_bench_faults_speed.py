@@ -1,0 +1,43 @@
+"""Benchmark: overhead of the fault-tolerance layer on the serving hot path.
+
+Writes the ``"faults"`` section of ``BENCH_inference.json`` (the trend check
+compares it across PRs) and sanity-checks that the safety net stays cheap
+enough to leave on: the always-on poison-row scan must not multiply batch
+latency, and the per-event / per-call wrappers must stay far above the event
+rates any real stream produces.
+"""
+
+from __future__ import annotations
+
+from run_faults_bench import DEFAULT_OUTPUT, run_bench, write_report
+
+
+def test_bench_fault_overheads():
+    payload = run_bench(batch=4096, n_repeats=3)
+    path = write_report(payload, DEFAULT_OUTPUT, section="faults")
+    print(f"[faults section written to {path}]")
+
+    results = payload["results"]
+    for name, entry in results.items():
+        assert entry["samples_per_sec"] > 0.0, name
+
+    clean = results["process_batch[clean]"]
+    # Service bookkeeping + quarantine scan on top of raw scoring; the scan
+    # itself is one vectorized isfinite pass, so a large multiple means a
+    # Python-loop slipped onto the per-batch path.
+    assert clean["overhead_vs_raw_score"] < 3.0
+
+    poison = results["process_batch[5% poison]"]
+    # Diverting 5% of rows (mask + compact + one event) must stay in the
+    # same ballpark as the clean batch, not double it.
+    assert poison["overhead_vs_clean"] < 2.0
+
+    # Wrapper costs are per event / per registry call: anything below ~10k/s
+    # would be a measurable tax on alert-heavy streams.
+    assert results["resilient_sink.emit"]["samples_per_sec"] > 1e4
+    assert results["call_with_retry[success]"]["samples_per_sec"] > 1e4
+
+    scan = results[f"registry_recovery_scan[v={payload['config']['n_versions']}]"]
+    # A cold start re-verifies every version's checksums; it runs once per
+    # service boot and must stay interactive.
+    assert scan["scan_latency_s"] < 5.0

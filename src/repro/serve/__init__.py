@@ -24,10 +24,28 @@ fitted detector into something that can be *deployed*:
   online *drift → refit → gate → publish → swap* loop (clean-window
   buffering, Full/Continual/NoRefit policies, quality gate),
 * :mod:`repro.serve.sinks` — pluggable alert sinks (in-memory, JSONL,
-  callback).
+  callback),
+* :mod:`repro.serve.faults` — the fault-tolerance layer threaded through all
+  of the above: poison-row quarantine, supervised worker restarts, resilient
+  sinks, retrying I/O, crash-safe registry recovery events, and the
+  deterministic :class:`FaultInjector` chaos harness behind
+  ``repro serve --inject-faults``.
 """
 
 from repro.serve.drift import DriftMonitor, DriftReport
+from repro.serve.faults import (
+    FaultInjected,
+    FaultInjector,
+    QuarantinedRows,
+    RaisingSink,
+    RegistryRecovery,
+    ResilientSink,
+    SinkDisabled,
+    WorkerRestart,
+    call_with_retry,
+    emit_resilient,
+    wrap_sinks,
+)
 from repro.serve.fusion import FusionDetector
 from repro.serve.lifecycle import (
     ContinualRefit,
@@ -73,6 +91,8 @@ __all__ = [
     "DriftEvent",
     "DriftMonitor",
     "DriftReport",
+    "FaultInjected",
+    "FaultInjector",
     "FullRefit",
     "FusionDetector",
     "GateResult",
@@ -83,19 +103,28 @@ __all__ = [
     "ModelRegistry",
     "NoRefit",
     "QualityGate",
+    "QuarantinedRows",
+    "RaisingSink",
     "RefitPolicy",
+    "RegistryRecovery",
+    "ResilientSink",
     "ServiceReport",
     "ShadowEvaluator",
     "ShadowTrial",
     "ShadowVerdict",
     "ShardedDetectionService",
+    "SinkDisabled",
     "SnapshotError",
     "SnapshotInfo",
     "SNAPSHOT_FORMAT_VERSION",
     "WindowBuffer",
+    "WorkerRestart",
+    "call_with_retry",
     "clone_model",
+    "emit_resilient",
     "load_snapshot",
     "make_registry_reload",
     "read_manifest",
     "save_snapshot",
+    "wrap_sinks",
 ]

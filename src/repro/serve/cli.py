@@ -34,6 +34,13 @@ Usage examples::
     repro registry gc --keep 3 --registry ./models
     repro registry history iforest-wustl_iiot --registry ./models
 
+    # chaos-test the fault tolerance with deterministic injected faults
+    # (grammar in repro.serve.faults), and scan/quarantine corrupt versions
+    repro serve --dataset wustl_iiot --detector iforest --workers 2 \
+        --worker-mode process \
+        --inject-faults 'worker_crash@every=2;nan_rows@rate=0.05'
+    repro registry recover --registry ./models
+
 (``repro`` is the console script registered in ``pyproject.toml``; the same
 commands work as ``python -m repro.experiments.cli ...``.)
 """
@@ -42,6 +49,8 @@ from __future__ import annotations
 
 import argparse
 import functools
+import os
+import signal
 from pathlib import Path
 
 import numpy as np
@@ -59,6 +68,7 @@ from repro.novelty import (
     PCAReconstructionDetector,
 )
 from repro.serve.drift import DriftMonitor
+from repro.serve.faults import FaultInjector
 from repro.serve.fusion import FusionDetector
 from repro.serve.lifecycle import (
     ContinualRefit,
@@ -188,10 +198,22 @@ def _parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--alerts", type=Path, default=None, help="write alerts/drift events as JSONL"
     )
+    serve.add_argument(
+        "--max-worker-restarts", type=int, default=3,
+        help="with --workers > 1 in process mode: pool respawns allowed "
+        "after dead/hung workers before degrading to in-parent scoring",
+    )
+    serve.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic chaos testing: inject faults described by SPEC "
+        "(e.g. 'worker_crash@every=1;sink_raise@every=1;nan_rows@rate=0.05'; "
+        "see repro.serve.faults for the grammar); never use in production",
+    )
 
     registry = sub.add_parser("registry", help="inspect, pin or prune registry contents")
     registry.add_argument(
-        "action", choices=["list", "show", "pin", "unpin", "gc", "history"]
+        "action",
+        choices=["list", "show", "pin", "unpin", "gc", "history", "recover"],
     )
     registry.add_argument("name", nargs="?", default=None)
     registry.add_argument("version", nargs="?", default=None)
@@ -213,6 +235,46 @@ def _make_drift_monitor(ref_scores: np.ndarray, ref_X: np.ndarray) -> DriftMonit
     """Per-shard drift-monitor factory (module-level so process workers can
     unpickle the ``functools.partial`` built over it)."""
     return DriftMonitor().set_reference(ref_scores, ref_X)
+
+
+class _Terminated(Exception):
+    """Internal marker raised by the SIGTERM handler for a graceful exit."""
+
+
+def _serve_stream(service, stream) -> int:
+    """Run the service; returns 0, or 130/143 on SIGINT/SIGTERM.
+
+    ``service.run``'s own ``finally`` closes the sinks on the way out, so an
+    interrupted stream still flushes its JSONL events; the caller prints the
+    partial report.  The previous SIGTERM disposition is restored before
+    returning.
+    """
+
+    main_pid = os.getpid()
+
+    def _on_sigterm(signum, frame):
+        # Forked process workers inherit this handler; a supervised pool
+        # teardown terminates them with SIGTERM, and raising through their
+        # blocked IPC read would only spray tracebacks.  They die quietly.
+        if os.getpid() != main_pid:
+            os._exit(143)
+        raise _Terminated()
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - not on the main thread
+        pass
+    try:
+        service.run(stream)
+        return 0
+    except KeyboardInterrupt:
+        return 130
+    except _Terminated:
+        return 143
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -238,9 +300,22 @@ def _run_serve(args: argparse.Namespace) -> int:
             "(shadow evaluation is disabled; candidates would swap right "
             "after the quality gate)"
         )
+    injector: FaultInjector | None = None
+    if args.inject_faults:
+        try:
+            injector = FaultInjector.from_spec(args.inject_faults, seed=args.seed)
+        except ValueError as exc:
+            raise SystemExit(f"--inject-faults: {exc}")
+        print(f"fault injection armed: {injector.describe()}")
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     normal = dataset.normal_data()
     registry = ModelRegistry(args.registry) if args.registry is not None else None
+    if registry is not None:
+        for event in registry.recovered_:
+            print(
+                f"registry recovered: {event.name}/{event.version_dir} "
+                f"quarantined ({event.reason})"
+            )
 
     reload_selector: tuple[str, str | None] | None = None
     serving_version: int | None = None
@@ -266,6 +341,17 @@ def _run_serve(args: argparse.Namespace) -> int:
             reload_selector = (info.name, None)
             serving_version = info.version
             print(f"published {info.name} v{info.version} to {registry.root}")
+            if injector is not None and injector.torn_write:
+                # Model a publisher killed mid-write, then the recovery scan
+                # a restart would run; the fitted detector in memory keeps
+                # serving either way.
+                print(f"fault injection: {FaultInjector.tear_version(info.path)}")
+                for event in registry.recover(info.name):
+                    print(
+                        f"registry recovered: {event.name}/{event.version_dir} "
+                        f"quarantined ({event.reason})"
+                    )
+                serving_version = None
 
     try:
         threshold: float | str = float(args.threshold)
@@ -275,6 +361,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")
     sinks = [JsonlSink(args.alerts)] if args.alerts is not None else []
+    if injector is not None:
+        sinks = injector.wrap_sinks(sinks)
     ref_scores = detector.score_samples(normal)
 
     lifecycle = None
@@ -363,12 +451,25 @@ def _run_serve(args: argparse.Namespace) -> int:
             lifecycle=lifecycle,
             quorum=args.quorum,
             sinks=sinks,
+            max_worker_restarts=args.max_worker_restarts,
+            fault_injector=injector,
         )
         print(
             f"sharding across {args.workers} {service.resolved_mode()} workers "
             f"({args.shard_mode} batches, global-order merge)"
         )
+        if (
+            injector is not None
+            and injector.targets_workers
+            and service.resolved_mode() != "process"
+        ):
+            print(
+                "note: worker crash/hang faults only fire in process mode "
+                "(add --worker-mode process)"
+            )
     else:
+        if injector is not None and injector.targets_workers:
+            print("note: worker crash/hang faults need --workers > 1 (ignored)")
         monitor = DriftMonitor()
         monitor.set_reference(ref_scores, normal)
 
@@ -397,7 +498,19 @@ def _run_serve(args: argparse.Namespace) -> int:
         drift_strength=args.drift_strength,
         random_state=args.seed,
     )
-    report = service.run(stream)
+    if injector is not None:
+        stream = injector.corrupt_stream(stream)
+    interrupted = _serve_stream(service, stream)
+    if interrupted:
+        # service.run's finally already closed the sinks; flush the partial
+        # report so an operator still sees what was processed, then exit
+        # with the conventional signal code — no raw traceback.
+        report = service.report()
+        print(report.summary())
+        signal_name = "SIGINT" if interrupted == 130 else "SIGTERM"
+        print(f"interrupted by {signal_name}; partial report above")
+        return interrupted
+    report = service.report()
     print(report.summary())
     if lifecycle is not None:
         for event in lifecycle.events:
@@ -444,6 +557,27 @@ def _run_registry(args: argparse.Namespace) -> int:
             pin_note = f", pinned v{pinned}" if pinned is not None else ""
             print(f"{name}: v{versions[0]}..v{versions[-1]}{pin_note}")
         return 0
+    if args.action == "recover":
+        if args.version is not None:
+            raise SystemExit(
+                "registry recover takes no version argument; it scans every "
+                "version directory of the model (or all models)"
+            )
+        # The constructor's scan already quarantined anything corrupt;
+        # report those events (filtered to the requested model, if any).
+        events = [
+            event
+            for event in registry.recovered_
+            if args.name is None or event.name == args.name
+        ]
+        for event in events:
+            print(
+                f"{event.name}: quarantined {event.version_dir} -> "
+                f"{event.quarantined_to} ({event.reason})"
+            )
+        scope = args.name if args.name is not None else "all models"
+        print(f"recovery scan of {scope}: {len(events)} entr(y|ies) quarantined")
+        return 0
     if args.name is None:
         raise SystemExit(f"registry {args.action} requires a model name")
     if args.action == "history":
@@ -461,6 +595,12 @@ def _run_registry(args: argparse.Namespace) -> int:
             )
         events = registry.history(args.name)
         for index, event in enumerate(events):
+            if event.get("type") == "registry_recover":
+                print(
+                    f"[{index}] registry_recover: quarantined "
+                    f"{event.get('version_dir')} ({event.get('reason')})"
+                )
+                continue
             action = event.get("action", "?")
             outcome = "swapped" if event.get("swapped") else "kept current model"
             version = (

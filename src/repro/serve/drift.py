@@ -142,11 +142,21 @@ class DriftMonitor:
             scores = np.asarray(scores, dtype=np.float64).ravel()
             if scores.size < 2:
                 raise ValueError("need at least 2 reference scores")
+            if not np.isfinite(scores).all():
+                raise ValueError(
+                    "reference scores contain non-finite values; a poisoned "
+                    "reference would misjudge every later shift"
+                )
             self._score_ref = (float(scores.mean()), float(max(scores.std(), 1e-12)))
         if X is not None and self.track_features:
             X = np.asarray(X, dtype=np.float64)
             if X.ndim != 2 or X.shape[0] < 2:
                 raise ValueError("reference X must be 2-D with at least 2 rows")
+            if not np.isfinite(X).all():
+                raise ValueError(
+                    "reference X contains non-finite values; a poisoned "
+                    "reference would misjudge every later shift"
+                )
             std = X.std(axis=0)
             std[std == 0.0] = 1e-12
             self._feature_ref = (X.mean(axis=0), std)
@@ -182,13 +192,27 @@ class DriftMonitor:
 
     # -- streaming -------------------------------------------------------------
     def update(self, scores: np.ndarray, X: np.ndarray | None = None) -> DriftReport:
-        """Fold one batch into the rolling window and report the shift."""
+        """Fold one batch into the rolling window and report the shift.
+
+        Non-finite rows are dropped before entering the windows: one NaN
+        score or feature would otherwise poison the rolling mean — and, at
+        stream start, the *bootstrapped reference* — silencing or misfiring
+        the monitor for the rest of the window.  (The serving layer
+        quarantines such rows before scoring; this guard covers monitors fed
+        directly.)
+        """
         scores = np.asarray(scores, dtype=np.float64).ravel()
+        if X is not None and self.track_features:
+            X = np.asarray(X, dtype=np.float64)
+        finite = np.isfinite(scores)
+        if X is not None and self.track_features and X.shape[0] == scores.shape[0]:
+            finite &= np.isfinite(X).all(axis=1)
+            X = X[finite]
+        scores = scores[finite]
         if self._scores is None:
             self._scores = _RingBuffer(self.window, 1)
         self._scores.extend(scores[:, None])
         if X is not None and self.track_features:
-            X = np.asarray(X, dtype=np.float64)
             if self._features is None:
                 self._features = _RingBuffer(self.window, X.shape[1])
             self._features.extend(X)

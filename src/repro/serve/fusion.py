@@ -69,6 +69,11 @@ class FusionDetector(NoveltyDetector):
         self.loc_: np.ndarray | None = None
         self.scale_: np.ndarray | None = None
         self.n_features_: int | None = None
+        #: Failures recorded by the last :meth:`score_samples` call, one
+        #: plain dict per dropped member (``index``, ``detector``, ``error``)
+        #: — plain data so a snapshot round-trips it.  Empty when every
+        #: member scored.
+        self.member_failed_: tuple[dict, ...] = ()
 
     # -- fitting -----------------------------------------------------------------
     def fit(self, X: np.ndarray) -> "FusionDetector":
@@ -117,18 +122,60 @@ class FusionDetector(NoveltyDetector):
         return (weights * standardized).sum(axis=1)
 
     def score_samples(self, X: np.ndarray) -> np.ndarray:
+        """Fused scores for ``X``, degrading gracefully over failing members.
+
+        A member whose ``score_samples`` raises is dropped *for this call*:
+        the surviving members' standardized scores are fused with the
+        combination weights renormalized over the survivors (for ``"pcr"``
+        the per-sample conflict weights renormalize naturally; for
+        ``"mean"``/``"max"`` the rule applies to the surviving columns), in
+        the PCR spirit of redistributing a conflicting source's mass instead
+        of failing the committee.  Each drop is recorded in
+        :attr:`member_failed_`; only when *every* member raises does the
+        call fail, carrying the last member error as the cause.
+        """
         check_fitted(self, "loc_")
         X = check_array(X, name="X", allow_empty=True)
         check_n_features(X, self.n_features_, fitted_with="fusion was calibrated")
+        self.member_failed_ = ()
         if X.shape[0] == 0:
             return np.empty(0)
-        raw = np.column_stack(
-            [detector.score_samples(X) for detector in self.detectors]
-        )
-        return self._fuse((raw - self.loc_) / self.scale_)
+        columns: list[np.ndarray] = []
+        survivors: list[int] = []
+        failures: list[dict] = []
+        last_error: Exception | None = None
+        for index, detector in enumerate(self.detectors):
+            try:
+                columns.append(
+                    np.asarray(detector.score_samples(X), dtype=np.float64)
+                )
+            except Exception as exc:  # noqa: BLE001 - degradation is the point
+                failures.append(
+                    {
+                        "index": index,
+                        "detector": type(detector).__name__,
+                        "error": repr(exc),
+                    }
+                )
+                last_error = exc
+                continue
+            survivors.append(index)
+        self.member_failed_ = tuple(failures)
+        if not survivors:
+            raise RuntimeError(
+                f"all {len(self.detectors)} fusion members failed to score"
+            ) from last_error
+        raw = np.column_stack(columns)
+        keep = np.asarray(survivors, dtype=np.intp)
+        return self._fuse((raw - self.loc_[keep]) / self.scale_[keep])
 
     def member_scores(self, X: np.ndarray) -> np.ndarray:
-        """``(n_samples, n_detectors)`` standardized per-member scores."""
+        """``(n_samples, n_detectors)`` standardized per-member scores.
+
+        Diagnostic view, deliberately strict: a raising member propagates
+        here (the caller asked for *that member's* scores), unlike
+        :meth:`score_samples`, which degrades over the survivors.
+        """
         check_fitted(self, "loc_")
         X = check_array(X, name="X", allow_empty=True)
         check_n_features(X, self.n_features_, fitted_with="fusion was calibrated")

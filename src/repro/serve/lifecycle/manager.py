@@ -25,12 +25,14 @@ why a model was or was not replaced.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
 import numpy as np
 
 from repro.serve.drift import DriftReport
+from repro.serve.faults import call_with_retry, emit_resilient, wrap_sinks
 from repro.serve.lifecycle.buffer import WindowBuffer
 from repro.serve.lifecycle.gate import GateResult, QualityGate
 from repro.serve.lifecycle.policy import RefitPolicy
@@ -164,7 +166,7 @@ class LifecycleManager:
         self.publish = publish
         self.serving_version = serving_version
         self.shadow = shadow
-        self.sinks = list(sinks)
+        self.sinks = wrap_sinks(sinks)
         self.events: list[LifecycleEvent] = []
         self.n_refits_ = 0
         self.n_reloads_ = 0
@@ -439,9 +441,23 @@ class LifecycleManager:
         if self.registry is not None and self.model_name is not None:
             append = getattr(self.registry, "append_history", None)
             if append is not None:
-                append(self.model_name, event.to_dict())
-        for sink in self.sinks:
-            sink.emit(event)
+                # Lineage is an audit trail, not the serving path: a full
+                # disk must not turn a recorded decision into a crashed
+                # stream.  Transient I/O errors are retried; a persistent
+                # failure is warned about and the in-memory event kept.
+                try:
+                    call_with_retry(
+                        lambda: append(self.model_name, event.to_dict())
+                    )
+                except OSError as exc:
+                    warnings.warn(
+                        f"failed to persist lifecycle lineage for "
+                        f"{self.model_name!r}: {exc}; the event is kept "
+                        "in memory only",
+                        UserWarning,
+                        stacklevel=2,
+                    )
+        emit_resilient(self.sinks, event)
         return event
 
     # -- sequential swap ---------------------------------------------------------

@@ -46,6 +46,17 @@ candidate scores back into **global order** and feeds one trial, and the
 verdict is applied at a round boundary — the ``shadow_pass`` swap (or
 ``shadow_reject`` discard) is global and round-aligned in both modes.
 
+Fault tolerance
+---------------
+Process-mode workers are *supervised* (:mod:`repro.serve.faults`): a dead or
+hung worker tears down the pool, a fresh one is spawned, and only the failed
+shards' slices are replayed — idempotently, because per-shard state ships per
+round and advances only on success.  Each recovery emits a ``worker_restart``
+event; past the ``max_worker_restarts`` budget the service degrades to
+in-parent sequential scoring instead of dying.  Rows quarantined by a shard
+(non-finite features) are announced by the parent in global order, and all
+sinks are wrapped so one raising sink is disabled rather than fatal.
+
 Worker modes
 ------------
 ``mode="thread"`` shares the fitted detector across worker threads
@@ -63,7 +74,11 @@ from __future__ import annotations
 
 import math
 import tempfile
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -72,6 +87,12 @@ import numpy as np
 
 from repro.ml import native
 from repro.serve.drift import DriftMonitor, _RingBuffer
+from repro.serve.faults import (
+    QuarantinedRows,
+    WorkerRestart,
+    emit_resilient,
+    wrap_sinks,
+)
 from repro.serve.service import (
     Alert,
     BatchResult,
@@ -119,6 +140,10 @@ def _score_round_in_subprocess(
     state: _ShardState,
     items: list[tuple[int, np.ndarray]],
     shadow_snapshot_path: str | None = None,
+    round_index: int = 0,
+    shard: int = 0,
+    attempt: int = 0,
+    injector: Any = None,
 ) -> tuple[list[tuple[int, BatchResult, np.ndarray | None]], _ShardState]:
     """Worker-process entry point: score one shard's slice of one round.
 
@@ -129,8 +154,17 @@ def _score_round_in_subprocess(
     candidate snapshot is loaded the same way and every batch is
     double-scored; the candidate scores ride back with the results so the
     *parent* can merge them in global order and judge the trial.
+
+    Because the shard state only updates on a *returned* result, the whole
+    call is idempotent: the supervisor can replay a failed round against the
+    unchanged shipped state with no double-counting.  ``round_index`` /
+    ``shard`` / ``attempt`` exist for the optional
+    :class:`~repro.serve.faults.FaultInjector`, which may kill or hang this
+    worker deterministically (first attempt only, so replays succeed).
     """
     global _WORKER_MODEL, _WORKER_SHADOW
+    if injector is not None:
+        injector.maybe_fail_worker(round_index, shard, attempt)
     if _WORKER_MODEL is None or _WORKER_MODEL[0] != snapshot_path:
         _WORKER_MODEL = (snapshot_path, load_snapshot(snapshot_path))
     shadow_model = None
@@ -212,6 +246,24 @@ class ShardedDetectionService:
         ``n_workers * batches_per_round`` batches, bounding buffered memory
         while keeping every worker busy; coordinated swaps happen only at
         round boundaries.
+    max_worker_restarts:
+        (Process mode.)  Budget of pool respawns after a worker dies
+        (``BrokenProcessPool``/pipe error) or exceeds ``worker_timeout_s``.
+        Each recovery replays only the failed shards' slices — per-shard
+        state ships per round and updates only on success, so a replay is
+        idempotent — and emits a ``worker_restart`` event.  Once the budget
+        is spent the service *degrades to in-parent sequential scoring*
+        (a final ``worker_restart`` event with ``degraded=True``) instead of
+        dying mid-stream.
+    worker_timeout_s:
+        (Process mode.)  Upper bound in seconds on waiting for one shard's
+        round result; a worker exceeding it is treated as hung and its pool
+        torn down + respawned under the same restart budget.  ``None``
+        (default) waits forever.
+    fault_injector:
+        Optional :class:`~repro.serve.faults.FaultInjector` shipped to the
+        process workers for deterministic chaos testing (see
+        ``serve --inject-faults``).  Never set in production.
     """
 
     def __init__(
@@ -231,9 +283,16 @@ class ShardedDetectionService:
         quorum: float = 0.5,
         sinks: Sequence[Any] = (),
         batches_per_round: int = 4,
+        max_worker_restarts: int = 3,
+        worker_timeout_s: float | None = None,
+        fault_injector: Any = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
+        if max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be non-negative")
+        if worker_timeout_s is not None and worker_timeout_s <= 0:
+            raise ValueError("worker_timeout_s must be positive")
         if mode not in ("auto", "thread", "process"):
             raise ValueError("mode must be 'auto', 'thread' or 'process'")
         if shard_mode not in _SHARD_MODES:
@@ -259,8 +318,11 @@ class ShardedDetectionService:
         self.drift_monitor_factory = drift_monitor_factory
         self.lifecycle = lifecycle
         self.quorum = quorum
-        self.sinks = list(sinks)
+        self.sinks = wrap_sinks(sinks)
         self.batches_per_round = batches_per_round
+        self.max_worker_restarts = max_worker_restarts
+        self.worker_timeout_s = worker_timeout_s
+        self.fault_injector = fault_injector
         self._service_kwargs = dict(
             threshold=threshold,
             rolling_window=rolling_window,
@@ -280,6 +342,10 @@ class ShardedDetectionService:
         self.n_alerts_ = 0
         self.n_drift_events_ = 0
         self.n_swaps_ = 0
+        self.n_quarantined_ = 0
+        self.n_worker_restarts_ = 0
+        self.n_disabled_sinks_ = 0
+        self.degraded_ = False
         self.drift_batches_: list[int] = []
         self._latency_total = 0.0
         self._shard_services: list[DetectionService] | None = None
@@ -338,8 +404,7 @@ class ShardedDetectionService:
 
     # -- merging -----------------------------------------------------------------
     def _emit(self, event: Any) -> None:
-        for sink in self.sinks:
-            sink.emit(event)
+        self.n_disabled_sinks_ += len(emit_resilient(self.sinks, event))
 
     def _merge_round(
         self,
@@ -357,6 +422,17 @@ class ShardedDetectionService:
         for g in sorted(per_batch):
             shard_result = per_batch[g]
             offset = self.n_samples_
+            if shard_result.quarantined:
+                # The shard service quarantined sink-lessly; the parent owns
+                # the sinks, so announce here with the *global* batch index.
+                self.n_quarantined_ += len(shard_result.quarantined)
+                self._emit(
+                    QuarantinedRows(
+                        batch_index=g,
+                        row_indices=shard_result.quarantined,
+                        reason=shard_result.quarantine_reason or "quarantined",
+                    )
+                )
             alerts = tuple(
                 Alert(
                     batch_index=g,
@@ -397,6 +473,8 @@ class ShardedDetectionService:
                 drift=drift,
                 latency_s=shard_result.latency_s,
                 model_epoch=shard_result.model_epoch,
+                quarantined=shard_result.quarantined,
+                quarantine_reason=shard_result.quarantine_reason,
             )
 
     # -- coordinated swap --------------------------------------------------------
@@ -553,6 +631,129 @@ class ShardedDetectionService:
                         service.reload_detector(candidate, rebootstrap=rebootstrap)
 
     # -- process mode ------------------------------------------------------------
+    @staticmethod
+    def _collect(
+        results: list[tuple[int, BatchResult, np.ndarray | None]],
+        per_batch: dict[int, BatchResult],
+        shadow_by_batch: dict[int, np.ndarray],
+    ) -> None:
+        for g, result, shadow_scores in results:
+            per_batch[g] = result
+            if shadow_scores is not None:
+                shadow_by_batch[g] = shadow_scores
+
+    def _supervise_round(
+        self,
+        pool: ProcessPoolExecutor | None,
+        snapshot_path: str,
+        shadow_path: str | None,
+        states: list[_ShardState],
+        shards: list[list[tuple[int, np.ndarray]]],
+        round_index: int,
+        per_batch: dict[int, BatchResult],
+        shadow_by_batch: dict[int, np.ndarray],
+    ) -> ProcessPoolExecutor | None:
+        """Run one round's shard slices under worker supervision.
+
+        Each shard's slice is submitted to the pool; a shard whose future
+        raises ``BrokenExecutor``/``OSError`` (dead worker) or exceeds
+        ``worker_timeout_s`` (hung worker) is *replayed*: the pool is torn
+        down and respawned, and — because ``states[s]`` only advanced for
+        shards that returned — resubmitting the identical slice is
+        idempotent.  Every recovery burns one unit of the
+        ``max_worker_restarts`` budget and emits a ``worker_restart`` event;
+        past the budget the service degrades to scoring the remaining slices
+        in-parent (sequentially) for the rest of the stream.  Returns the
+        (possibly respawned, possibly retired) pool.
+        """
+        pending = {s: items for s, items in enumerate(shards) if items}
+        attempt = 0
+        while pending:
+            if self.degraded_:
+                # Past the restart budget: no pool, score in-parent.  The
+                # injector is dropped on purpose — degraded mode is the
+                # recovery of last resort and must always make progress.
+                for s, items in sorted(pending.items()):
+                    results, states[s] = _score_round_in_subprocess(
+                        snapshot_path,
+                        self.epoch_,
+                        self._service_kwargs,
+                        states[s],
+                        items,
+                        shadow_path,
+                    )
+                    self._collect(results, per_batch, shadow_by_batch)
+                pending.clear()
+                break
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=self.n_workers)
+            # submit() itself can raise once a just-submitted shard's worker
+            # dies fast enough to break the pool mid-loop, so submission is
+            # supervised too: shards that never made it in are marked failed
+            # and replayed with the rest.
+            futures: dict[int, Any] = {}
+            failed: dict[int, str] = {}
+            for s, items in sorted(pending.items()):
+                try:
+                    futures[s] = pool.submit(
+                        _score_round_in_subprocess,
+                        snapshot_path,
+                        self.epoch_,
+                        self._service_kwargs,
+                        states[s],
+                        items,
+                        shadow_path,
+                        round_index,
+                        s,
+                        attempt,
+                        self.fault_injector,
+                    )
+                except (BrokenExecutor, OSError) as exc:
+                    failed[s] = type(exc).__name__
+            for s, future in futures.items():
+                try:
+                    results, states[s] = future.result(
+                        timeout=self.worker_timeout_s
+                    )
+                except (BrokenExecutor, OSError, TimeoutError) as exc:
+                    failed[s] = type(exc).__name__
+                    continue
+                self._collect(results, per_batch, shadow_by_batch)
+                del pending[s]
+            if failed:
+                # A dead worker poisons the whole pool (BrokenProcessPool on
+                # every later submit) and a hung one never frees its slot:
+                # either way the pool is torn down and respawned fresh.
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+                reason = ", ".join(
+                    f"shard {s}: {err}" for s, err in sorted(failed.items())
+                )
+                if self.n_worker_restarts_ >= self.max_worker_restarts:
+                    self.degraded_ = True
+                    self._emit(
+                        WorkerRestart(
+                            round_index=round_index,
+                            shards=tuple(sorted(failed)),
+                            reason=f"{reason}; restart budget exhausted, "
+                            "degrading to in-parent sequential scoring",
+                            restarts=self.n_worker_restarts_,
+                            degraded=True,
+                        )
+                    )
+                else:
+                    self.n_worker_restarts_ += 1
+                    self._emit(
+                        WorkerRestart(
+                            round_index=round_index,
+                            shards=tuple(sorted(failed)),
+                            reason=reason,
+                            restarts=self.n_worker_restarts_,
+                        )
+                    )
+                attempt += 1
+        return pool
+
     def _process_multiprocess(self, stream: Iterable[Any]) -> Iterator[BatchResult]:
         batches = self._indexed_batches(stream)
         states = [
@@ -571,7 +772,9 @@ class ShardedDetectionService:
             # One candidate snapshot per shadow trial (tag = trial counter);
             # the workers cache it per path, exactly like the served model.
             shadow_snapshot: tuple[int, str] | None = None
-            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            pool: ProcessPoolExecutor | None = None
+            round_index = 0
+            try:
                 while True:
                     round_items = self._take_round(batches)
                     if not round_items:
@@ -590,27 +793,18 @@ class ShardedDetectionService:
                             save_snapshot(self._shadow_detector(), path)
                             shadow_snapshot = (tag, path)
                         shadow_path = shadow_snapshot[1]
-                    futures = {
-                        pool.submit(
-                            _score_round_in_subprocess,
-                            snapshot_path,
-                            self.epoch_,
-                            self._service_kwargs,
-                            states[s],
-                            items,
-                            shadow_path,
-                        ): s
-                        for s, items in enumerate(shards)
-                        if items
-                    }
                     per_batch: dict[int, BatchResult] = {}
                     shadow_by_batch: dict[int, np.ndarray] = {}
-                    for future, s in futures.items():
-                        results, states[s] = future.result()
-                        for g, result, shadow_scores in results:
-                            per_batch[g] = result
-                            if shadow_scores is not None:
-                                shadow_by_batch[g] = shadow_scores
+                    pool = self._supervise_round(
+                        pool,
+                        snapshot_path,
+                        shadow_path,
+                        states,
+                        shards,
+                        round_index,
+                        per_batch,
+                        shadow_by_batch,
+                    )
                     yield from self._merge_round(
                         per_batch, dict(round_items), shard_of, shadow_by_batch
                     )
@@ -628,6 +822,10 @@ class ShardedDetectionService:
                                     rebootstrap=rebootstrap,
                                 )
                             state.rolling = None
+                    round_index += 1
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
 
     # -- public API --------------------------------------------------------------
     def process(self, stream: Iterable[Any]) -> Iterator[BatchResult]:
@@ -673,4 +871,7 @@ class ShardedDetectionService:
             mean_batch_latency_s=(
                 self._latency_total / self.n_batches_ if self.n_batches_ else 0.0
             ),
+            n_quarantined=self.n_quarantined_,
+            n_worker_restarts=self.n_worker_restarts_,
+            n_disabled_sinks=self.n_disabled_sinks_,
         )

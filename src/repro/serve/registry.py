@@ -14,18 +14,46 @@ Versions are monotonically increasing integers assigned by :meth:`publish`.
 or ``None`` (pinned when a pin exists, otherwise latest) — so a deployment can
 follow the newest model by default but be frozen to a known-good version with
 one :meth:`pin` call, without touching the serving code.
+
+Crash safety
+------------
+Writes are atomic: :meth:`publish` saves into a hidden ``.tmp-*`` directory
+and ``os.replace``-renames it into place, and :meth:`append_history` rewrites
+the lineage file through a fsynced temp file — a ``kill -9`` at any point
+leaves either the old state or the new state, never a torn one.  Concurrent
+writers on one model are serialized through an ``flock``-based lock file
+(POSIX; a no-op where :mod:`fcntl` is unavailable).  On construction a
+recovery scan (:meth:`recover`) quarantines whatever an *earlier, pre-atomic*
+crash may have left behind — orphaned temp directories, version directories
+with a missing/unreadable manifest or a SHA-256 mismatch against their
+artifacts — into ``<name>/.corrupt/``, records a ``registry_recover`` lineage
+event, and lets ``resolve`` keep serving the newest intact version.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
 import shutil
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
-from repro.serve.snapshot import load_snapshot, read_manifest, save_snapshot
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+from repro.serve.faults import RegistryRecovery, call_with_retry
+from repro.serve.snapshot import (
+    _sha256_file,
+    load_snapshot,
+    read_manifest,
+    save_snapshot,
+)
 
 __all__ = ["ModelRegistry", "SnapshotInfo"]
 
@@ -33,6 +61,9 @@ _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _VERSION_DIR = re.compile(r"^v(\d+)$")
 _PIN_FILE = "pin.json"
 _HISTORY_FILE = "history.jsonl"
+_LOCK_FILE = ".lock"
+_CORRUPT_DIR = ".corrupt"
+_TMP_PREFIX = ".tmp-"
 
 
 @dataclass(frozen=True)
@@ -58,11 +89,43 @@ def _check_name(name: str) -> str:
 
 
 class ModelRegistry:
-    """Store and resolve named, versioned model snapshots under one directory."""
+    """Store and resolve named, versioned model snapshots under one directory.
 
-    def __init__(self, root: str | Path) -> None:
+    Parameters
+    ----------
+    root:
+        Registry directory; created (with parents) if missing.
+    recover:
+        Run the startup recovery scan (see :meth:`recover`); the quarantined
+        entries, if any, are kept in :attr:`recovered_`.  Disable only in
+        tests that stage corruption deliberately.
+    """
+
+    def __init__(self, root: str | Path, *, recover: bool = True) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.recovered_: list[RegistryRecovery] = self.recover() if recover else []
+
+    # -- write serialization -----------------------------------------------------
+    @contextmanager
+    def _writer_lock(self, name: str) -> Iterator[None]:
+        """Exclusive per-model writer lock (``flock`` on ``<name>/.lock``).
+
+        Serializes publishes/appends from concurrent processes on POSIX; a
+        no-op where :mod:`fcntl` is unavailable — the atomic renames then
+        still guarantee torn-write safety, just not a total write order.
+        """
+        model_dir = self.root / name
+        model_dir.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(model_dir / _LOCK_FILE, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
 
     # -- queries ---------------------------------------------------------------
     def models(self) -> list[str]:
@@ -147,40 +210,189 @@ class ModelRegistry:
         produced, so an operator can audit *why* each version was published
         — or a candidate rejected — after the serving process has exited.
         The file is append-only and survives :meth:`gc` (pruning old model
-        artifacts must not erase the audit trail).
+        artifacts must not erase the audit trail).  The append is crash-safe:
+        the whole file is rewritten through a fsynced temp file and
+        ``os.replace``-renamed into place under the writer lock, so a crash
+        mid-append leaves the previous lineage intact rather than a torn
+        trailing record.
         """
+        name = _check_name(name)
         path = self.history_path(name)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "a") as handle:
-            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        record = json.dumps(payload, sort_keys=True) + "\n"
+        with self._writer_lock(name):
+            existing = path.read_text() if path.is_file() else ""
+            tmp = path.with_name(f"{path.name}{_TMP_PREFIX}{os.getpid()}")
+
+            def _write() -> None:
+                with open(tmp, "w") as handle:
+                    handle.write(existing + record)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+
+            try:
+                call_with_retry(_write)
+            except BaseException:
+                tmp.unlink(missing_ok=True)
+                raise
         return path
 
     def history(self, name: str) -> list[dict[str, Any]]:
-        """Replay ``name``'s lineage records, oldest first (empty when none)."""
+        """Replay ``name``'s lineage records, oldest first (empty when none).
+
+        A truncated *trailing* line — the signature a pre-atomic crash
+        mid-append leaves behind — is skipped with a warning so the lineage
+        stays replayable; corruption anywhere *before* the last record is
+        not a torn append and still raises.
+        """
         path = self.history_path(name)
         if not path.is_file():
             return []
-        return [
-            json.loads(line)
-            for line in path.read_text().splitlines()
-            if line.strip()
-        ]
+        lines = path.read_text().splitlines()
+        records: list[dict[str, Any]] = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if any(rest.strip() for rest in lines[i + 1 :]):
+                    raise
+                warnings.warn(
+                    f"skipping truncated trailing record in {path} "
+                    "(crash mid-append); lineage up to it is intact",
+                    UserWarning,
+                    stacklevel=2,
+                )
+                break
+        return records
+
+    # -- recovery --------------------------------------------------------------
+    @staticmethod
+    def _diagnose(version_dir: Path) -> str | None:
+        """Why ``version_dir`` is unservable, or ``None`` when it is intact."""
+        try:
+            manifest = read_manifest(version_dir)
+        except FileNotFoundError:
+            return "manifest.json missing (crash before the manifest write)"
+        except ValueError as exc:  # SnapshotError and json decode errors
+            return f"unreadable manifest: {exc}"
+        for artifact_name, info in (manifest.get("artifacts") or {}).items():
+            artifact_path = version_dir / artifact_name
+            if not artifact_path.is_file():
+                return f"artifact {artifact_name!r} missing"
+            expected = info.get("sha256")
+            if expected is not None and _sha256_file(artifact_path) != expected:
+                return f"artifact {artifact_name!r} sha256 mismatch (torn write)"
+        return None
+
+    def _quarantine(self, name: str, entry: Path, reason: str) -> RegistryRecovery:
+        corrupt_dir = self.root / name / _CORRUPT_DIR
+        corrupt_dir.mkdir(exist_ok=True)
+        target = corrupt_dir / entry.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = corrupt_dir / f"{entry.name}.{suffix}"
+        os.replace(entry, target)
+        return RegistryRecovery(
+            name=name,
+            version_dir=entry.name,
+            reason=reason,
+            quarantined_to=str(target),
+        )
+
+    def recover(self, name: str | None = None) -> list[RegistryRecovery]:
+        """Quarantine partial/corrupt versions into ``<name>/.corrupt/``.
+
+        Scans one model (or all of them) for what a crash mid-publish can
+        leave behind — orphaned ``.tmp-*`` publish directories, and version
+        directories whose manifest is missing/unreadable or whose artifacts
+        fail their manifest SHA-256 — and moves each offender aside so
+        ``resolve``/``latest_version`` keep serving the newest *intact*
+        version.  Every quarantine appends a ``registry_recover`` lineage
+        record and is returned as a
+        :class:`~repro.serve.faults.RegistryRecovery` event.  Runs on every
+        :class:`ModelRegistry` construction by default.
+        """
+        if name is not None:
+            names = [_check_name(name)]
+        else:
+            names = sorted(
+                entry.name
+                for entry in self.root.iterdir()
+                if entry.is_dir() and _NAME_PATTERN.match(entry.name)
+            )
+        recovered: list[RegistryRecovery] = []
+        for model_name in names:
+            model_dir = self.root / model_name
+            if not model_dir.is_dir():
+                continue
+            with self._writer_lock(model_name):
+                for entry in sorted(model_dir.iterdir()):
+                    if not entry.is_dir():
+                        continue
+                    if entry.name.startswith(_TMP_PREFIX):
+                        recovered.append(
+                            self._quarantine(
+                                model_name,
+                                entry,
+                                "orphaned temp publish directory "
+                                "(crash mid-publish)",
+                            )
+                        )
+                        continue
+                    if _VERSION_DIR.match(entry.name):
+                        reason = self._diagnose(entry)
+                        if reason is not None:
+                            recovered.append(
+                                self._quarantine(model_name, entry, reason)
+                            )
+        # Outside the lock: append_history takes the same flock, and flock
+        # is per open-file-description, so nesting would deadlock.
+        for event in recovered:
+            self.append_history(event.name, event.to_dict())
+        return recovered
 
     # -- mutation --------------------------------------------------------------
     def publish(
         self, model: Any, name: str, *, metadata: dict[str, Any] | None = None
     ) -> SnapshotInfo:
-        """Save ``model`` as the next version of ``name`` and return its info."""
+        """Save ``model`` as the next version of ``name`` and return its info.
+
+        Atomic: the snapshot is written into a hidden ``.tmp-*`` sibling and
+        renamed into ``v{N}`` in one ``os.replace`` — a reader (or a crash)
+        never observes a half-written version, and the recovery scan sweeps
+        any orphaned temp directory a dead publisher left behind.  Transient
+        ``OSError``\\ s during the snapshot write are retried with backoff.
+        """
         name = _check_name(name)
-        versions = self.versions(name)
-        version = (versions[-1] + 1) if versions else 1
-        path = self.root / name / f"v{version}"
-        save_snapshot(model, path, metadata=metadata)
+        with self._writer_lock(name):
+            versions = self.versions(name)
+            version = (versions[-1] + 1) if versions else 1
+            path = self.root / name / f"v{version}"
+            tmp = self.root / name / f"{_TMP_PREFIX}v{version}-{os.getpid()}"
+            try:
+                call_with_retry(
+                    lambda: save_snapshot(
+                        model, tmp, metadata=metadata, overwrite=True
+                    )
+                )
+                os.replace(tmp, path)
+            except BaseException:
+                shutil.rmtree(tmp, ignore_errors=True)
+                raise
         return SnapshotInfo(name=name, version=version, path=path)
 
     def load(self, name: str, version: int | str | None = None) -> Any:
-        """Load the model behind ``resolve(name, version)``."""
-        return load_snapshot(self.resolve(name, version).path)
+        """Load the model behind ``resolve(name, version)``.
+
+        Transient ``OSError``\\ s are retried with backoff; corruption
+        (:class:`~repro.serve.snapshot.SnapshotError`) is not — a bad
+        snapshot will not heal by rereading it.
+        """
+        info = self.resolve(name, version)
+        return call_with_retry(lambda: load_snapshot(info.path))
 
     def pin(self, name: str, version: int | str) -> SnapshotInfo:
         """Pin ``name`` to a published version; ``resolve(name)`` now returns it."""

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.metrics.thresholds import quantile_threshold
 from repro.serve.drift import DriftMonitor, DriftReport, _RingBuffer
+from repro.serve.faults import QuarantinedRows, emit_resilient, wrap_sinks
 from repro.utils.timing import Timer
 
 __all__ = [
@@ -114,6 +115,13 @@ class BatchResult:
     drift: DriftReport | None
     latency_s: float
     model_epoch: int = 0
+    #: Row indices (within the incoming batch) diverted to quarantine before
+    #: scoring — non-finite rows, or the whole batch when its feature width
+    #: broke the stream contract and ``quarantine_wrong_width`` is enabled.
+    #: Quarantined rows never reach the detector, the rolling threshold, the
+    #: drift monitor or the refit window, and do not consume sample indices.
+    quarantined: tuple[int, ...] = ()
+    quarantine_reason: str | None = None
 
     @property
     def n_samples(self) -> int:
@@ -136,6 +144,9 @@ class ServiceReport:
     total_time_s: float = 0.0
     throughput_samples_per_sec: float = 0.0
     mean_batch_latency_s: float = 0.0
+    n_quarantined: int = 0
+    n_worker_restarts: int = 0
+    n_disabled_sinks: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -147,6 +158,9 @@ class ServiceReport:
             "total_time_s": self.total_time_s,
             "throughput_samples_per_sec": self.throughput_samples_per_sec,
             "mean_batch_latency_s": self.mean_batch_latency_s,
+            "n_quarantined": self.n_quarantined,
+            "n_worker_restarts": self.n_worker_restarts,
+            "n_disabled_sinks": self.n_disabled_sinks,
         }
 
     def summary(self) -> str:
@@ -162,6 +176,12 @@ class ServiceReport:
             lines.append(f"drift flagged on batch(es): {batches}")
         else:
             lines.append("drift: none flagged")
+        if self.n_quarantined:
+            lines.append(f"quarantined rows: {self.n_quarantined}")
+        if self.n_worker_restarts:
+            lines.append(f"worker restarts: {self.n_worker_restarts}")
+        if self.n_disabled_sinks:
+            lines.append(f"disabled sinks: {self.n_disabled_sinks}")
         return "\n".join(lines)
 
 
@@ -189,6 +209,18 @@ class DetectionService:
         Optional :class:`~repro.serve.drift.DriftMonitor`; fed every batch.
     sinks:
         :mod:`repro.serve.sinks` instances receiving alerts and drift events.
+        Every sink is wrapped in a
+        :class:`~repro.serve.faults.ResilientSink`: a raising sink is
+        retried, then disabled after repeated consecutive failures (a
+        ``sink_disabled`` event reaches the surviving sinks) — a broken
+        pager must never kill the scoring loop.
+    quarantine_wrong_width:
+        Diagnosed poison rows — any row with a non-finite feature — are
+        *always* diverted to quarantine before scoring (a
+        :class:`~repro.serve.faults.QuarantinedRows` event records their
+        indices).  Set this flag to additionally quarantine a whole batch
+        whose feature width breaks the stream contract instead of raising;
+        the strict default keeps the historical error behavior.
     on_drift:
         ``callable(service, report)`` invoked when the monitor fires — e.g.
         :func:`make_registry_reload` to hot-swap the latest registry model.
@@ -216,6 +248,7 @@ class DetectionService:
         sinks: Sequence[Any] = (),
         on_drift: Callable[["DetectionService", DriftReport], None] | None = None,
         lifecycle: Any = None,
+        quarantine_wrong_width: bool = False,
     ) -> None:
         if isinstance(threshold, str) and threshold not in ("auto", "rolling"):
             raise ValueError("threshold must be a float, 'auto' or 'rolling'")
@@ -239,9 +272,10 @@ class DetectionService:
         self.min_rolling = min_rolling
         self.micro_batch_size = micro_batch_size
         self.drift_monitor = drift_monitor
-        self.sinks = list(sinks)
+        self.sinks = wrap_sinks(sinks)
         self.on_drift = on_drift
         self.lifecycle = lifecycle
+        self.quarantine_wrong_width = quarantine_wrong_width
 
         self.timer = Timer()
         self.epoch_ = 0
@@ -250,6 +284,8 @@ class DetectionService:
         self.n_samples_ = 0
         self.n_alerts_ = 0
         self.n_drift_events_ = 0
+        self.n_quarantined_ = 0
+        self.n_disabled_sinks_ = 0
         self.drift_batches_: list[int] = []
         self._rolling = _RingBuffer(rolling_window, 1)
 
@@ -347,8 +383,7 @@ class DetectionService:
         )
 
     def _emit(self, event: Any) -> None:
-        for sink in self.sinks:
-            sink.emit(event)
+        self.n_disabled_sinks_ += len(emit_resilient(self.sinks, event))
 
     def process_batch(self, X: np.ndarray) -> BatchResult:
         """Score one batch: thresholds, alerts, drift, counters.
@@ -358,8 +393,43 @@ class DetectionService:
         and drift — there is nothing to judge, and a rolling threshold over
         an empty window would otherwise raise at stream start.  Their
         :attr:`BatchResult.threshold` is ``nan``.
+
+        Rows with non-finite features are quarantined *before* scoring: they
+        are cut from the batch, announced via a
+        :class:`~repro.serve.faults.QuarantinedRows` event, and never touch
+        the rolling threshold, the drift monitor, or the lifecycle's refit
+        window.  They also do not consume sample indices, so the surviving
+        alerts are identical to a run on the stream with those rows deleted.
         """
+        if self.quarantine_wrong_width:
+            raw = np.asarray(X)
+            if (
+                raw.ndim == 2
+                and self.n_features_ is not None
+                and raw.shape[1] != self.n_features_
+            ):
+                return self._quarantine_batch(
+                    int(raw.shape[0]),
+                    f"batch has {raw.shape[1]} features, "
+                    f"stream started with {self.n_features_}",
+                )
         X = self._validate_once(X)
+        quarantined: tuple[int, ...] = ()
+        quarantine_reason: str | None = None
+        if X.shape[0]:
+            finite = np.isfinite(X).all(axis=1)
+            if not finite.all():
+                quarantined = tuple(int(i) for i in np.flatnonzero(~finite))
+                quarantine_reason = "non-finite feature values"
+                self.n_quarantined_ += len(quarantined)
+                self._emit(
+                    QuarantinedRows(
+                        batch_index=self.n_batches_,
+                        row_indices=quarantined,
+                        reason=quarantine_reason,
+                    )
+                )
+                X = np.ascontiguousarray(X[finite])
         batch_index = self.n_batches_
         offset = self.n_samples_
         model_epoch = self.epoch_  # a drift-triggered swap below must not retag
@@ -436,6 +506,37 @@ class DetectionService:
             drift=drift_report,
             latency_s=latency,
             model_epoch=model_epoch,
+            quarantined=quarantined,
+            quarantine_reason=quarantine_reason,
+        )
+
+    def _quarantine_batch(self, n_rows: int, reason: str) -> BatchResult:
+        """Divert a whole contract-breaking batch to quarantine.
+
+        Mirrors the zero-row path — the batch is counted, nothing is scored,
+        the threshold is ``nan`` — plus a :class:`QuarantinedRows` event
+        naming every row.
+        """
+        batch_index = self.n_batches_
+        indices = tuple(range(n_rows))
+        self.n_quarantined_ += n_rows
+        self._emit(
+            QuarantinedRows(
+                batch_index=batch_index, row_indices=indices, reason=reason
+            )
+        )
+        self.n_batches_ += 1
+        return BatchResult(
+            index=batch_index,
+            scores=np.empty(0, dtype=np.float64),
+            predictions=np.empty(0, dtype=np.int64),
+            threshold=float("nan"),
+            alerts=(),
+            drift=None,
+            latency_s=0.0,
+            model_epoch=self.epoch_,
+            quarantined=indices,
+            quarantine_reason=reason,
         )
 
     # -- stream consumption ------------------------------------------------------
@@ -479,6 +580,8 @@ class DetectionService:
             total_time_s=self.timer.total,
             throughput_samples_per_sec=throughput,
             mean_batch_latency_s=self.timer.mean,
+            n_quarantined=self.n_quarantined_,
+            n_disabled_sinks=self.n_disabled_sinks_,
         )
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import os
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
@@ -309,7 +310,13 @@ def save_snapshot(
             ARRAYS_NAME: {"sha256": _sha256_file(path / ARRAYS_NAME)}
         }
         manifest_text = json.dumps(manifest, indent=2, sort_keys=True)
-    manifest_path.write_text(manifest_text + "\n")
+    # The manifest is written last and atomically: a crash mid-save leaves
+    # either no manifest (the snapshot is invisible to the registry and
+    # quarantined by its recovery scan) or a complete one that vouches for
+    # the artifact bytes — never a torn file that parses as garbage.
+    tmp_path = path / (MANIFEST_NAME + ".tmp")
+    tmp_path.write_text(manifest_text + "\n")
+    os.replace(tmp_path, manifest_path)
     return path
 
 
