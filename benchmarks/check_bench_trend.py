@@ -6,13 +6,15 @@ repository root and exits non-zero when any shared entry regressed by more
 than ``--threshold`` (default 20%) in ``samples_per_sec``, or when a
 previously benchmarked model disappeared.  New entries are informational.
 
-Four sections are guarded: the single-core inference numbers under
+Six sections are guarded: the single-core inference numbers under
 ``"results"``, the multi-core numbers under ``"parallel" -> "results"``
 (written by ``run_parallel_bench.py``), the refit/swap costs under
 ``"lifecycle" -> "results"`` and the double-scoring costs under
-``"shadow" -> "results"`` (both written by ``run_lifecycle_bench.py``); the
-extra sections are reported with a ``parallel:`` / ``lifecycle:`` /
-``shadow:`` name prefix.  A fresh payload that omits an extra section
+``"shadow" -> "results"`` (both written by ``run_lifecycle_bench.py``), the
+fault-layer costs under ``"faults" -> "results"`` and the instrumentation
+costs under ``"telemetry" -> "results"``; the extra sections are reported
+with a ``parallel:`` / ``lifecycle:`` / ``shadow:`` / ``faults:`` /
+``telemetry:`` name prefix.  A fresh payload that omits an extra section
 entirely skips that comparison with a note — so a quick sequential-only
 measurement stays usable — but once both sides carry a section, a vanished
 or slowed entry fails the check like any other.  An entry whose baseline
@@ -123,6 +125,7 @@ def compare_bench(
         ("lifecycle", "run_lifecycle_bench.py"),
         ("shadow", "run_lifecycle_bench.py"),
         ("faults", "run_faults_bench.py"),
+        ("telemetry", "run_telemetry_bench.py"),
     ):
         baseline_section = baseline.get(section, {}).get("results", {})
         fresh_section = fresh.get(section)
@@ -149,6 +152,7 @@ def _measure_fresh() -> dict:
         import run_inference_bench
         import run_lifecycle_bench
         import run_parallel_bench
+        import run_telemetry_bench
     finally:
         sys.path.pop(0)
     payload = run_inference_bench.run_bench()
@@ -156,6 +160,7 @@ def _measure_fresh() -> dict:
     payload["lifecycle"] = run_lifecycle_bench.run_bench()
     payload["shadow"] = run_lifecycle_bench.run_shadow_bench()
     payload["faults"] = run_faults_bench.run_bench()
+    payload["telemetry"] = run_telemetry_bench.run_bench()
     return payload
 
 

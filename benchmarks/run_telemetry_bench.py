@@ -1,0 +1,207 @@
+"""Telemetry overhead benchmark: what observability costs on the hot path.
+
+The telemetry layer (:mod:`repro.serve.telemetry`) is on by default: every
+scored batch updates counters and latency histograms and passes through the
+per-stage spans, and a sharded run folds every worker's registry into one
+snapshot at report time.  Observability that taxes the serving loop gets
+turned off, so this benchmark pins the costs under the ``"telemetry"`` key
+of ``BENCH_inference.json`` and ``check_bench_trend.py`` fails the build
+when any of them regresses:
+
+* ``process_batch[instrumented]`` — full service scoring of one batch with
+  the default (enabled) metrics registry and spans;
+* ``process_batch[uninstrumented]`` — the same batch with telemetry routed
+  to the :data:`~repro.serve.telemetry.metrics.DISABLED` registry
+  (``overhead_vs_uninstrumented`` on the instrumented entry makes the
+  instrumentation tax explicit — the acceptance bound is 5%);
+* ``trace_span[enter_exit]`` — bare span enter/exit cycles per second
+  against a live registry (the unit cost every instrumented stage pays);
+* ``registry_merge[shards=N]`` — :meth:`MetricsRegistry.fold` over ``N``
+  populated shard registries, folds per second (paid per snapshot/report
+  in a sharded service);
+* ``report_render`` — :func:`build_report` + :func:`render_markdown` from a
+  realistic summary/metrics/events payload, reports per second.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_telemetry_bench.py \
+        [--batch 4096] [--n-features 16] [--shards 8] \
+        [--output BENCH_inference.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro._version import __version__
+from repro.novelty import IsolationForest
+from repro.serve.service import DetectionService
+from repro.serve.telemetry import (
+    MetricsRegistry,
+    build_report,
+    build_run_summary,
+    render_markdown,
+    trace_span,
+)
+from repro.serve.telemetry.metrics import DISABLED
+from run_lifecycle_bench import DEFAULT_OUTPUT, _best_time, write_report
+
+__all__ = ["run_bench", "write_report", "DEFAULT_OUTPUT", "main"]
+
+
+def _populated_registry(seed: int, n_batches: int = 50) -> MetricsRegistry:
+    """A shard-shaped registry: the instruments a serving shard accumulates."""
+    rng = np.random.default_rng(seed)
+    registry = MetricsRegistry()
+    batches = registry.counter("pipeline.batches", unit="batches")
+    rows = registry.counter("pipeline.rows", unit="rows")
+    latency = registry.histogram("pipeline.batch_seconds", unit="seconds")
+    stage = registry.histogram("stage.score.seconds", unit="seconds")
+    for value in rng.lognormal(mean=-7.0, sigma=1.0, size=n_batches):
+        batches.inc()
+        rows.inc(256)
+        latency.observe(float(value))
+        stage.observe(float(value) * 0.8)
+    registry.gauge("fusion.conflict_mass", unit="mass").set(float(rng.random()))
+    return registry
+
+
+def run_bench(
+    *,
+    batch: int = 4096,
+    n_features: int = 16,
+    n_shards: int = 8,
+    n_repeats: int = 3,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Run the telemetry-overhead suite; returns the ``"telemetry"`` payload."""
+    rng = np.random.default_rng(seed)
+    train = rng.normal(size=(2000, n_features))
+    detector = IsolationForest(
+        n_estimators=50, max_samples=256, random_state=seed
+    ).fit(train)
+    clean = rng.normal(size=(batch, n_features))
+
+    results: dict[str, object] = {}
+
+    # Uninstrumented arm first so the instrumented ratio reads off it.
+    off_service = DetectionService(detector, threshold="auto", telemetry=DISABLED)
+    off_s = _best_time(lambda: off_service.process_batch(clean), n_repeats)
+    results["process_batch[uninstrumented]"] = {
+        "samples_per_sec": batch / off_s,
+        "batch_latency_s": off_s,
+    }
+
+    on_service = DetectionService(detector, threshold="auto")
+    on_s = _best_time(lambda: on_service.process_batch(clean), n_repeats)
+    results["process_batch[instrumented]"] = {
+        "samples_per_sec": batch / on_s,
+        "batch_latency_s": on_s,
+        "overhead_vs_uninstrumented": on_s / off_s,
+    }
+
+    span_registry = MetricsRegistry()
+
+    def _one_span() -> None:
+        with trace_span("bench", metrics=span_registry, rows=1):
+            pass
+
+    span_s = _best_time(_one_span, n_repeats, n_inner=1000)
+    results["trace_span[enter_exit]"] = {"samples_per_sec": 1.0 / span_s}
+
+    shards = [_populated_registry(seed + i) for i in range(n_shards)]
+    merge_s = _best_time(lambda: MetricsRegistry.fold(shards), n_repeats)
+    results[f"registry_merge[shards={n_shards}]"] = {
+        "samples_per_sec": 1.0 / merge_s,
+        "merge_latency_s": merge_s,
+    }
+
+    metrics = MetricsRegistry.fold(shards).snapshot()
+    summary = {
+        "n_batches": 50 * n_shards,
+        "n_samples": 256 * 50 * n_shards,
+        "n_alerts": 137,
+        "n_drift_events": 2,
+        "throughput_samples_per_sec": 1e5,
+        "total_time_s": 256 * 50 * n_shards / 1e5,
+        "batch_latency_p50_s": 1e-3,
+        "batch_latency_p95_s": 3e-3,
+        "batch_latency_p99_s": 5e-3,
+    }
+    events = [
+        {"type": "alert", "batch_index": i // 4, "score": 1.0} for i in range(200)
+    ] + [{"type": "drift", "batch_index": 30}]
+    run_info = build_run_summary(
+        {"detector": "iforest", "seed": seed},
+        stream={"dataset": "bench", "seed": seed},
+        service_report=summary,
+        metrics=metrics,
+        generated_at="bench",
+    )
+
+    def _render() -> None:
+        render_markdown(
+            build_report(
+                summary,
+                metrics=metrics,
+                events=events,
+                run_info=run_info,
+                generated_at="bench",
+            )
+        )
+
+    render_s = _best_time(_render, n_repeats)
+    results["report_render"] = {
+        "samples_per_sec": 1.0 / render_s,
+        "render_latency_s": render_s,
+    }
+
+    return {
+        "benchmark": "telemetry_overhead",
+        "version": __version__,
+        "config": {
+            "batch": batch,
+            "n_features": n_features,
+            "n_shards": n_shards,
+            "n_repeats": n_repeats,
+            "seed": seed,
+        },
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batch", type=int, default=4096)
+    parser.add_argument("--n-features", type=int, default=16)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--n-repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    if min(args.batch, args.n_features, args.shards, args.n_repeats) < 1:
+        parser.error("--batch, --n-features, --shards, --n-repeats must be >= 1")
+    payload = run_bench(
+        batch=args.batch,
+        n_features=args.n_features,
+        n_shards=args.shards,
+        n_repeats=args.n_repeats,
+        seed=args.seed,
+    )
+    path = write_report(payload, args.output, section="telemetry")
+    for name, entry in payload["results"].items():
+        line = f"{name:40s} {entry['samples_per_sec']:>12.0f} /s"
+        if "overhead_vs_uninstrumented" in entry:
+            line += f"  ({entry['overhead_vs_uninstrumented']:.3f}x uninstrumented)"
+        if "render_latency_s" in entry:
+            line += f"  (render {1e3 * entry['render_latency_s']:.1f} ms)"
+        print(line)
+    print(f"[telemetry section written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Benchmark: overhead of the telemetry layer on the serving hot path.
+
+Writes the ``"telemetry"`` section of ``BENCH_inference.json`` (the trend
+check compares it across PRs) and sanity-checks that default-on
+observability stays affordable: instrumentation must cost at most a few
+percent of sequential batch throughput, and the merge/render paths that run
+per snapshot or per report must stay interactive.
+"""
+
+from __future__ import annotations
+
+from run_telemetry_bench import DEFAULT_OUTPUT, run_bench, write_report
+
+
+def test_bench_telemetry_overheads():
+    payload = run_bench(batch=4096, n_repeats=3)
+    path = write_report(payload, DEFAULT_OUTPUT, section="telemetry")
+    print(f"[telemetry section written to {path}]")
+
+    results = payload["results"]
+    for name, entry in results.items():
+        assert entry["samples_per_sec"] > 0.0, name
+
+    instrumented = results["process_batch[instrumented]"]
+    # The acceptance bound for default-on telemetry is <= 5% on the
+    # sequential hot loop; 1.15 here absorbs timer noise on a shared CI box
+    # while still catching anything structurally expensive (an allocation or
+    # Python loop per row instead of per batch).
+    assert instrumented["overhead_vs_uninstrumented"] < 1.15
+
+    # One span is two perf_counter calls plus a histogram observe; anything
+    # below ~100k/s would make per-stage tracing a measurable per-batch tax.
+    assert results["trace_span[enter_exit]"]["samples_per_sec"] > 1e5
+
+    # Folding shard registries happens per metrics snapshot / final report,
+    # not per batch — but a sharded service with --metrics-every pays it
+    # repeatedly, so it must stay well under a millisecond.
+    merge = results[f"registry_merge[shards={payload['config']['n_shards']}]"]
+    assert merge["merge_latency_s"] < 0.1
+
+    # Report assembly + markdown render runs once per run (or per `serve
+    # report` invocation); interactive means well under a second.
+    assert results["report_render"]["render_latency_s"] < 1.0

@@ -29,7 +29,13 @@ fitted detector into something that can be *deployed*:
   of the above: poison-row quarantine, supervised worker restarts, resilient
   sinks, retrying I/O, crash-safe registry recovery events, and the
   deterministic :class:`FaultInjector` chaos harness behind
-  ``repro serve --inject-faults``.
+  ``repro serve --inject-faults``,
+* :mod:`repro.serve.telemetry` — the observability layer over all of the
+  above: a mergeable metrics registry (counters, gauges, log-bucketed
+  latency histograms that fold deterministically across workers), span
+  tracing of every pipeline stage (``serve --trace-file``), structured
+  operator logging (``serve --log-level``), and auditable run reports with
+  reproducibility hashes (``serve --run-dir`` / ``serve report``).
 """
 
 from repro.serve.drift import DriftMonitor, DriftReport
@@ -72,13 +78,28 @@ from repro.serve.service import (
     ServiceReport,
     make_registry_reload,
 )
-from repro.serve.sinks import AlertSink, CallbackSink, JsonlSink, ListSink
+from repro.serve.sinks import AlertSink, CallbackSink, JsonlSink, ListSink, read_events
 from repro.serve.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
     SnapshotError,
     load_snapshot,
     read_manifest,
     save_snapshot,
+)
+from repro.serve.telemetry import (
+    MetricsEvent,
+    MetricsRegistry,
+    SpanTracer,
+    build_report,
+    build_run_summary,
+    configure_logging,
+    deterministic_view,
+    get_logger,
+    log_event,
+    render_markdown,
+    render_run_report,
+    trace_span,
+    write_report_files,
 )
 
 __all__ = [
@@ -100,6 +121,8 @@ __all__ = [
     "LifecycleEvent",
     "LifecycleManager",
     "ListSink",
+    "MetricsEvent",
+    "MetricsRegistry",
     "ModelRegistry",
     "NoRefit",
     "QualityGate",
@@ -117,14 +140,25 @@ __all__ = [
     "SnapshotError",
     "SnapshotInfo",
     "SNAPSHOT_FORMAT_VERSION",
+    "SpanTracer",
     "WindowBuffer",
     "WorkerRestart",
+    "build_report",
+    "build_run_summary",
     "call_with_retry",
     "clone_model",
+    "configure_logging",
+    "deterministic_view",
     "emit_resilient",
+    "get_logger",
     "load_snapshot",
+    "log_event",
     "make_registry_reload",
+    "read_events",
     "read_manifest",
+    "render_markdown",
+    "render_run_report",
     "save_snapshot",
-    "wrap_sinks",
+    "trace_span",
+    "write_report_files",
 ]

@@ -41,6 +41,13 @@ Usage examples::
         --inject-faults 'worker_crash@every=2;nan_rows@rate=0.05'
     repro registry recover --registry ./models
 
+    # observability: operator logs, per-stage span traces, and an auditable
+    # run directory (events.jsonl + run_summary.json + report.json/.md);
+    # `serve report` re-renders the report after the fact
+    repro serve --dataset wustl_iiot --detector iforest --log-level info \
+        --trace-file ./trace.jsonl --run-dir ./run --baseline BENCH_inference.json
+    repro serve report ./run
+
 (``repro`` is the console script registered in ``pyproject.toml``; the same
 commands work as ``python -m repro.experiments.cli ...``.)
 """
@@ -49,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import functools
+import json
 import os
 import signal
 from pathlib import Path
@@ -81,7 +89,16 @@ from repro.serve.lifecycle.shadow import describe_agreement
 from repro.serve.parallel import ShardedDetectionService
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import DetectionService, make_registry_reload
-from repro.serve.sinks import JsonlSink
+from repro.serve.sinks import JsonlSink, read_events
+from repro.serve.snapshot import read_manifest, save_snapshot
+from repro.serve.telemetry import (
+    SpanTracer,
+    build_report,
+    build_run_summary,
+    configure_logging,
+    render_run_report,
+    write_report_files,
+)
 
 __all__ = ["main", "DETECTOR_FACTORIES"]
 
@@ -209,6 +226,47 @@ def _parser() -> argparse.ArgumentParser:
         "(e.g. 'worker_crash@every=1;sink_raise@every=1;nan_rows@rate=0.05'; "
         "see repro.serve.faults for the grammar); never use in production",
     )
+    serve.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="attach a stderr handler to the 'repro.serve' logger at LEVEL "
+        "(debug/info/warning/...); degradations the library signals as "
+        "UserWarning also appear as structured log records",
+    )
+    serve.add_argument(
+        "--trace-file", type=Path, default=None, metavar="PATH",
+        help="append one JSONL span record per instrumented pipeline stage "
+        "(quarantine scan, scoring, drift check, refit, gate, ...) to PATH",
+    )
+    serve.add_argument(
+        "--metrics-every", type=int, default=None, metavar="N",
+        help="emit a metrics-snapshot event through the sinks every N scored "
+        "batches (periodic MetricsEvent; off by default)",
+    )
+    serve.add_argument(
+        "--run-dir", type=Path, default=None, metavar="DIR",
+        help="write auditable run artifacts into DIR: events.jsonl (every "
+        "sink event), run_summary.json (config/model/stream hashes + metrics "
+        "snapshot) and report.json/report.md (sectioned MET/NOT_MET verdicts); "
+        "re-render later with 'repro serve report DIR'",
+    )
+    serve.add_argument(
+        "--baseline", type=Path, default=None, metavar="PATH",
+        help="BENCH_inference.json to judge throughput against in the run "
+        "report (only meaningful with --run-dir)",
+    )
+
+    serve_sub = serve.add_subparsers(dest="serve_command")
+    serve_report = serve_sub.add_parser(
+        "report", help="(re)build report.json/report.md from a --run-dir output"
+    )
+    serve_report.add_argument(
+        "run_dir", type=Path,
+        help="directory written by 'repro serve --run-dir'",
+    )
+    serve_report.add_argument(
+        "--baseline", type=Path, default=None, metavar="PATH",
+        help="BENCH_inference.json for the throughput-vs-baseline check",
+    )
 
     registry = sub.add_parser("registry", help="inspect, pin or prune registry contents")
     registry.add_argument(
@@ -277,6 +335,132 @@ def _serve_stream(service, stream) -> int:
             signal.signal(signal.SIGTERM, previous)
 
 
+#: serve args that shape the run's *semantics* — hashed into the run
+#: summary's config SHA-256.  Output locations and logging verbosity are
+#: excluded: re-running with a different --run-dir is the same experiment.
+_CONFIG_EXCLUDED = (
+    "command",
+    "serve_command",
+    "alerts",
+    "baseline",
+    "log_level",
+    "registry",
+    "run_dir",
+    "trace_file",
+)
+
+
+def _load_baseline(path: Path | None) -> dict | None:
+    if path is None:
+        return None
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"--baseline: cannot read {path}: {exc}")
+
+
+def _model_provenance(
+    detector,
+    run_dir: Path,
+    registry: ModelRegistry | None,
+    model_name: str | None,
+    serving_version: int | None,
+) -> dict:
+    """Model facts for ``run_summary.json`` (name, version, artifact hashes).
+
+    A registry-served model already has a manifest vouching for its artifact
+    bytes; a locally fitted one is snapshotted into ``<run-dir>/model`` so
+    the run directory carries the exact served model *and* its hashes.
+    """
+    if registry is not None and model_name is not None and serving_version is not None:
+        info = registry.resolve(model_name, f"v{serving_version}")
+        manifest = info.manifest
+        return {
+            "source": "registry",
+            "name": info.name,
+            "version": info.version,
+            "class": manifest.get("class"),
+            "artifacts": manifest.get("artifacts") or {},
+        }
+    path = save_snapshot(detector, run_dir / "model", overwrite=True)
+    manifest = read_manifest(path)
+    return {
+        "source": "snapshot",
+        "name": type(detector).__name__,
+        "version": None,
+        "class": manifest.get("class"),
+        "artifacts": manifest.get("artifacts") or {},
+    }
+
+
+def _write_run_artifacts(
+    args: argparse.Namespace,
+    *,
+    service,
+    report,
+    dataset,
+    detector,
+    registry: ModelRegistry | None,
+    model_name: str | None,
+    serving_version: int | None,
+) -> None:
+    """Write ``run_summary.json`` + ``report.json``/``report.md`` into
+    ``args.run_dir`` (the sinks — including ``events.jsonl`` — are already
+    closed by ``service.run``'s own ``finally``)."""
+    run_dir: Path = args.run_dir
+    config = {
+        key: (str(value) if isinstance(value, Path) else value)
+        for key, value in sorted(vars(args).items())
+        if key not in _CONFIG_EXCLUDED
+    }
+    stream_info = {
+        "source": "synthetic",
+        "dataset": dataset.name,
+        "scale": args.scale,
+        "seed": args.seed,
+        "batch_size": args.batch_size,
+        "drift_strength": args.drift_strength,
+    }
+    model_info = _model_provenance(
+        detector, run_dir, registry, model_name, serving_version
+    )
+    summary_payload = build_run_summary(
+        config,
+        stream=stream_info,
+        model=model_info,
+        service_report=report.to_dict(),
+        metrics=service.metrics_snapshot(),
+    )
+    (run_dir / "run_summary.json").write_text(
+        json.dumps(summary_payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    events_path = run_dir / "events.jsonl"
+    events = read_events(events_path) if events_path.is_file() else []
+    payload = build_report(
+        report.to_dict(),
+        metrics=summary_payload["metrics"],
+        events=events,
+        run_info=summary_payload,
+        baseline=_load_baseline(args.baseline),
+    )
+    _, md_path = write_report_files(run_dir, payload)
+    print(f"run report: {payload['overall']} -> {md_path}")
+
+
+def _run_serve_report(args: argparse.Namespace) -> int:
+    try:
+        report = render_run_report(
+            args.run_dir, baseline=_load_baseline(args.baseline)
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    print(f"run report: {report['overall']} -> {Path(args.run_dir) / 'report.md'}")
+    for section in report["sections"]:
+        print(f"  {section['index']}. {section['title']}: {section['verdict']}")
+    return 0 if report["overall"] != "NOT_MET" else 1
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     # Validate the shadow flags before any dataset/fit work: a flag typo must
     # not cost a training run (nor surface as a raw ValueError traceback).
@@ -300,6 +484,18 @@ def _run_serve(args: argparse.Namespace) -> int:
             "(shadow evaluation is disabled; candidates would swap right "
             "after the quality gate)"
         )
+    if args.log_level is not None:
+        try:
+            configure_logging(args.log_level)
+        except ValueError as exc:
+            raise SystemExit(f"--log-level: {exc}")
+    if args.metrics_every is not None and args.metrics_every < 1:
+        raise SystemExit("--metrics-every must be at least 1")
+    if args.baseline is not None and args.run_dir is None:
+        raise SystemExit("--baseline is only used by the --run-dir report")
+    if args.run_dir is not None:
+        args.run_dir.mkdir(parents=True, exist_ok=True)
+    tracer = SpanTracer(args.trace_file) if args.trace_file is not None else None
     injector: FaultInjector | None = None
     if args.inject_faults:
         try:
@@ -363,6 +559,10 @@ def _run_serve(args: argparse.Namespace) -> int:
     sinks = [JsonlSink(args.alerts)] if args.alerts is not None else []
     if injector is not None:
         sinks = injector.wrap_sinks(sinks)
+    if args.run_dir is not None:
+        # The audit channel is appended *after* fault wrapping: chaos testing
+        # must not be able to disable the record of the chaos.
+        sinks.append(JsonlSink(args.run_dir / "events.jsonl"))
     ref_scores = detector.score_samples(normal)
 
     lifecycle = None
@@ -453,6 +653,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             sinks=sinks,
             max_worker_restarts=args.max_worker_restarts,
             fault_injector=injector,
+            tracer=tracer,
+            metrics_every=args.metrics_every,
         )
         print(
             f"sharding across {args.workers} {service.resolved_mode()} workers "
@@ -491,6 +693,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             sinks=sinks,
             on_drift=on_drift,
             lifecycle=lifecycle,
+            tracer=tracer,
+            metrics_every=args.metrics_every,
         )
     stream = FlowStream(
         dataset,
@@ -501,12 +705,28 @@ def _run_serve(args: argparse.Namespace) -> int:
     if injector is not None:
         stream = injector.corrupt_stream(stream)
     interrupted = _serve_stream(service, stream)
+    if tracer is not None:
+        tracer.close()
+        print(f"{tracer.n_spans} spans traced to {tracer.path}")
+    model_name = reload_selector[0] if reload_selector is not None else None
     if interrupted:
         # service.run's finally already closed the sinks; flush the partial
-        # report so an operator still sees what was processed, then exit
-        # with the conventional signal code — no raw traceback.
+        # report (and the partial run artifacts) so an operator still sees
+        # what was processed, then exit with the conventional signal code —
+        # no raw traceback.
         report = service.report()
         print(report.summary())
+        if args.run_dir is not None:
+            _write_run_artifacts(
+                args,
+                service=service,
+                report=report,
+                dataset=dataset,
+                detector=detector,
+                registry=registry,
+                model_name=model_name,
+                serving_version=serving_version,
+            )
         signal_name = "SIGINT" if interrupted == 130 else "SIGTERM"
         print(f"interrupted by {signal_name}; partial report above")
         return interrupted
@@ -532,6 +752,17 @@ def _run_serve(args: argparse.Namespace) -> int:
             print("lifecycle: no drift fired; model unchanged")
     if args.alerts is not None:
         print(f"events written to {args.alerts}")
+    if args.run_dir is not None:
+        _write_run_artifacts(
+            args,
+            service=service,
+            report=report,
+            dataset=dataset,
+            detector=detector,
+            registry=registry,
+            model_name=model_name,
+            serving_version=serving_version,
+        )
     return 0
 
 
@@ -644,6 +875,8 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = _parser().parse_args(argv)
     if args.command == "serve":
+        if getattr(args, "serve_command", None) == "report":
+            return _run_serve_report(args)
         return _run_serve(args)
     return _run_registry(args)
 

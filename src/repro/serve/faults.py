@@ -51,12 +51,17 @@ every emit, a 5% poison-row stream.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
+
+from repro.serve.telemetry.log import get_logger, log_event
+
+_logger = get_logger("faults")
 
 __all__ = [
     "FaultInjected",
@@ -223,6 +228,15 @@ class ResilientSink:
         if self.consecutive_errors_ < self.max_consecutive_errors:
             return None
         self.disabled_ = True
+        log_event(
+            logging.WARNING,
+            "sink_disabled",
+            logger_=_logger,
+            sink=type(self.inner).__name__,
+            n_errors=self.n_errors_,
+            consecutive=self.consecutive_errors_,
+            last_error=repr(self.last_error_),
+        )
         return SinkDisabled(
             sink=type(self.inner).__name__,
             n_errors=self.n_errors_,

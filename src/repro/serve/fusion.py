@@ -74,6 +74,18 @@ class FusionDetector(NoveltyDetector):
         #: — plain data so a snapshot round-trips it.  Empty when every
         #: member scored.
         self.member_failed_: tuple[dict, ...] = ()
+        #: Per-member effective fusion weight of the last
+        #: :meth:`score_samples` batch, aligned with :attr:`detectors`
+        #: (``"pcr"``: per-sample conflict weights averaged over the batch;
+        #: ``"max"``: each member's share of per-sample wins; ``"mean"``:
+        #: uniform over survivors).  A member that failed on the batch holds
+        #: ``nan``.  Empty before the first scored batch.
+        self.member_weights_: tuple[float, ...] = ()
+        #: Mean absolute deviation of standardized member scores from the
+        #: committee consensus on the last scored batch — the total
+        #: disagreement mass the PCR rule redistributes.  ``nan`` before the
+        #: first scored batch.
+        self.conflict_mass_: float = float("nan")
 
     # -- fitting -----------------------------------------------------------------
     def fit(self, X: np.ndarray) -> "FusionDetector":
@@ -167,7 +179,34 @@ class FusionDetector(NoveltyDetector):
             ) from last_error
         raw = np.column_stack(columns)
         keep = np.asarray(survivors, dtype=np.intp)
-        return self._fuse((raw - self.loc_[keep]) / self.scale_[keep])
+        standardized = (raw - self.loc_[keep]) / self.scale_[keep]
+        self._record_diagnostics(standardized, keep)
+        return self._fuse(standardized)
+
+    def _record_diagnostics(
+        self, standardized: np.ndarray, survivors: np.ndarray
+    ) -> None:
+        """Record :attr:`member_weights_` / :attr:`conflict_mass_` for the
+        batch just scored (surfaced as gauges by the serving telemetry —
+        previously these were computed inside :meth:`_fuse` and dropped)."""
+        n_samples, n_survivors = standardized.shape
+        consensus = standardized.mean(axis=1, keepdims=True)
+        conflict = np.abs(standardized - consensus)
+        self.conflict_mass_ = float(conflict.mean()) if standardized.size else 0.0
+        if self.combine == "pcr":
+            weights = 1.0 / (1.0 + conflict)
+            weights /= weights.sum(axis=1, keepdims=True)
+            survivor_weights = weights.mean(axis=0)
+        elif self.combine == "max":
+            wins = np.bincount(
+                standardized.argmax(axis=1), minlength=n_survivors
+            )
+            survivor_weights = wins / max(n_samples, 1)
+        else:  # mean: the balanced committee
+            survivor_weights = np.full(n_survivors, 1.0 / n_survivors)
+        full = np.full(len(self.detectors), np.nan)
+        full[survivors] = survivor_weights
+        self.member_weights_ = tuple(float(w) for w in full)
 
     def member_scores(self, X: np.ndarray) -> np.ndarray:
         """``(n_samples, n_detectors)`` standardized per-member scores.

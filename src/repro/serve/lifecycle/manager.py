@@ -25,6 +25,7 @@ why a model was or was not replaced.
 
 from __future__ import annotations
 
+import logging
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
@@ -37,7 +38,11 @@ from repro.serve.lifecycle.buffer import WindowBuffer
 from repro.serve.lifecycle.gate import GateResult, QualityGate
 from repro.serve.lifecycle.policy import RefitPolicy
 from repro.serve.lifecycle.shadow import ShadowEvaluator, ShadowTrial, ShadowVerdict
+from repro.serve.telemetry.log import get_logger, log_event
+from repro.serve.telemetry.tracing import trace_span
 from repro.utils.timing import Timer
+
+_logger = get_logger("lifecycle")
 
 __all__ = ["LifecycleEvent", "LifecycleManager"]
 
@@ -176,6 +181,12 @@ class LifecycleManager:
         self.n_shadow_pass_ = 0
         self.n_shadow_reject_ = 0
         self._shadow_trial: ShadowTrial | None = None
+        #: Telemetry channel for the refit/gate/publish spans.  Left unset
+        #: here: the serving service that adopts this manager wires its own
+        #: registry/tracer in (``DetectionService``/``ShardedDetectionService``
+        #: auto-wire on construction); unwired, the spans are no-ops.
+        self.telemetry = None
+        self.tracer = None
 
     # -- stream observation ------------------------------------------------------
     def observe_batch(
@@ -271,7 +282,9 @@ class LifecycleManager:
                 n_window_rows=n_rows, reason=reason,
             )
         timer = Timer()
-        with timer:
+        with timer, trace_span(
+            "refit", metrics=self.telemetry, tracer=self.tracer, rows=n_rows
+        ):
             candidate = self.policy.refit(current, window)
         if candidate is None:
             fallback, declined = self._reload_fallback()
@@ -284,7 +297,10 @@ class LifecycleManager:
                 refit_latency_s=timer.total,
                 reason=reason,
             )
-        gate_result = self.gate.evaluate(candidate, window)
+        with trace_span(
+            "gate", metrics=self.telemetry, tracer=self.tracer, rows=n_rows
+        ):
+            gate_result = self.gate.evaluate(candidate, window)
         if not gate_result.passed:
             # A gate failure keeps the *current* model serving: reloading the
             # registry version here would mask a bad refit behind churn.
@@ -331,9 +347,12 @@ class LifecycleManager:
         }
         if verdict is not None:
             lifecycle_meta["shadow"] = verdict.to_dict()
-        info = self.registry.publish(
-            candidate, self.model_name, metadata={"lifecycle": lifecycle_meta}
-        )
+        with trace_span(
+            "registry_publish", metrics=self.telemetry, tracer=self.tracer
+        ):
+            info = self.registry.publish(
+                candidate, self.model_name, metadata={"lifecycle": lifecycle_meta}
+            )
         self.serving_version = info.version
         return info.version
 
@@ -450,6 +469,14 @@ class LifecycleManager:
                         lambda: append(self.model_name, event.to_dict())
                     )
                 except OSError as exc:
+                    log_event(
+                        logging.WARNING,
+                        "history_persist_failed",
+                        logger_=_logger,
+                        model=self.model_name,
+                        action=event.action,
+                        error=repr(exc),
+                    )
                     warnings.warn(
                         f"failed to persist lifecycle lineage for "
                         f"{self.model_name!r}: {exc}; the event is kept "

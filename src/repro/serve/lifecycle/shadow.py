@@ -42,13 +42,18 @@ scored batch, and resolves it into a ``shadow_pass`` (publish + swap) or
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
+from repro.serve.telemetry.log import get_logger, log_event
+
 __all__ = ["ShadowEvaluator", "ShadowTrial", "ShadowVerdict", "describe_agreement"]
+
+_logger = get_logger("shadow")
 
 
 def describe_agreement(
@@ -161,6 +166,14 @@ class ShadowEvaluator:
 
     def begin(self, candidate: Any) -> "ShadowTrial":
         """Open a trial for ``candidate`` under this configuration."""
+        log_event(
+            logging.INFO,
+            "shadow_trial_started",
+            logger_=_logger,
+            candidate=type(candidate).__name__,
+            rounds=self.rounds,
+            min_samples=self.min_samples,
+        )
         return ShadowTrial(candidate, self)
 
 
@@ -279,7 +292,7 @@ class ShadowTrial:
                 f"score-rank correlation {correlation:.2f} < "
                 f"{config.min_rank_correlation:.2f}"
             )
-        return ShadowVerdict(
+        verdict = ShadowVerdict(
             passed=not reasons,
             n_rounds=self.n_rounds_,
             n_samples=self.n_samples_,
@@ -288,3 +301,14 @@ class ShadowTrial:
             n_live_alerts=self._live_alerts_total,
             reason="; ".join(reasons) or None,
         )
+        log_event(
+            logging.INFO,
+            "shadow_verdict",
+            logger_=_logger,
+            passed=verdict.passed,
+            n_rounds=verdict.n_rounds,
+            n_samples=verdict.n_samples,
+            agreement=verdict.describe(),
+            reason=verdict.reason,
+        )
+        return verdict

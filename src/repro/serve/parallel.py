@@ -72,6 +72,7 @@ picks threads when the native kernels are available and processes otherwise.
 
 from __future__ import annotations
 
+import logging
 import math
 import tempfile
 from concurrent.futures import (
@@ -102,7 +103,12 @@ from repro.serve.service import (
     _validate_stream_batch,
 )
 from repro.serve.snapshot import load_snapshot, save_snapshot
+from repro.serve.telemetry.log import get_logger, log_event
+from repro.serve.telemetry.metrics import MetricsEvent, MetricsRegistry
+from repro.serve.telemetry.tracing import SpanTracer, trace_span
 from repro.utils.timing import Timer
+
+_logger = get_logger("parallel")
 
 __all__ = ["ShardedDetectionService"]
 
@@ -115,11 +121,15 @@ class _ShardState:
 
     The monitor carries drift windows, references and cooldown; ``rolling``
     is the shard's rolling-threshold window (``None`` = start fresh, which is
-    also how a coordinated swap resets it).  Both pickle cheaply.
+    also how a coordinated swap resets it); ``metrics`` is the shard's
+    :class:`~repro.serve.telemetry.MetricsRegistry` (``None`` = start fresh),
+    shipped back every round so the parent can fold all shards' metrics into
+    one global snapshot.  All three pickle cheaply.
     """
 
     monitor: DriftMonitor | None = None
     rolling: _RingBuffer | None = None
+    metrics: MetricsRegistry | None = None
 
 
 #: Per-process model cache: (snapshot_path, model).  A coordinated swap
@@ -177,7 +187,10 @@ def _score_round_in_subprocess(
             _WORKER_SHADOW = (shadow_snapshot_path, load_snapshot(shadow_snapshot_path))
         shadow_model = _WORKER_SHADOW[1]
     service = DetectionService(
-        _WORKER_MODEL[1], drift_monitor=state.monitor, **service_kwargs
+        _WORKER_MODEL[1],
+        drift_monitor=state.monitor,
+        telemetry=state.metrics,
+        **service_kwargs,
     )
     service.epoch_ = epoch
     if state.rolling is not None:
@@ -185,11 +198,15 @@ def _score_round_in_subprocess(
     results = []
     for g, X in items:
         result = service.process_batch(X)
-        shadow_scores = (
-            service._score_micro_batched(X, shadow_model)
-            if shadow_model is not None and X.shape[0]
-            else None
-        )
+        shadow_scores = None
+        if shadow_model is not None and X.shape[0]:
+            with trace_span(
+                "shadow_score",
+                metrics=service.telemetry,
+                rows=int(X.shape[0]),
+                batch_index=g,
+            ):
+                shadow_scores = service._score_micro_batched(X, shadow_model)
         results.append((g, result, shadow_scores))
     # The rolling window only exists for threshold="rolling"; shipping the
     # (otherwise never-read) backing array back and forth every round would
@@ -197,7 +214,11 @@ def _score_round_in_subprocess(
     rolling = (
         service._rolling if service_kwargs.get("threshold") == "rolling" else None
     )
-    return results, _ShardState(monitor=service.drift_monitor, rolling=rolling)
+    return results, _ShardState(
+        monitor=service.drift_monitor,
+        rolling=rolling,
+        metrics=service.telemetry,
+    )
 
 
 class ShardedDetectionService:
@@ -264,6 +285,16 @@ class ShardedDetectionService:
         Optional :class:`~repro.serve.faults.FaultInjector` shipped to the
         process workers for deterministic chaos testing (see
         ``serve --inject-faults``).  Never set in production.
+    telemetry, tracer, metrics_every:
+        Parent-side telemetry (see :class:`DetectionService`).  Each shard
+        records into its *own* registry (pipeline + stage metrics, exactly
+        like a sequential service); the parent records only parent-owned
+        work (``round_submit``/``round_merge`` spans, sink emits, worker
+        restarts).  ``metrics_snapshot()`` folds parent + shards in shard
+        order into one global snapshot whose counters match a sequential
+        run on the same stream; ``metrics_every`` emits that folded
+        snapshot as a :class:`~repro.serve.telemetry.MetricsEvent` every N
+        merged batches.
     """
 
     def __init__(
@@ -286,9 +317,14 @@ class ShardedDetectionService:
         max_worker_restarts: int = 3,
         worker_timeout_s: float | None = None,
         fault_injector: Any = None,
+        telemetry: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+        metrics_every: int | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
+        if metrics_every is not None and metrics_every < 1:
+            raise ValueError("metrics_every must be at least 1 (or None)")
         if max_worker_restarts < 0:
             raise ValueError("max_worker_restarts must be non-negative")
         if worker_timeout_s is not None and worker_timeout_s <= 0:
@@ -323,6 +359,19 @@ class ShardedDetectionService:
         self.max_worker_restarts = max_worker_restarts
         self.worker_timeout_s = worker_timeout_s
         self.fault_injector = fault_injector
+        self.telemetry = MetricsRegistry() if telemetry is None else telemetry
+        self.tracer = tracer
+        self.metrics_every = metrics_every
+        self._m_worker_restarts = self.telemetry.counter(
+            "pipeline.worker_restarts", unit="restarts"
+        )
+        self._m_sink_disabled = self.telemetry.counter(
+            "pipeline.sink_disabled", unit="sinks"
+        )
+        if lifecycle is not None and getattr(lifecycle, "telemetry", None) is None:
+            lifecycle.telemetry = self.telemetry
+            if getattr(lifecycle, "tracer", None) is None:
+                lifecycle.tracer = tracer
         self._service_kwargs = dict(
             threshold=threshold,
             rolling_window=rolling_window,
@@ -349,6 +398,7 @@ class ShardedDetectionService:
         self.drift_batches_: list[int] = []
         self._latency_total = 0.0
         self._shard_services: list[DetectionService] | None = None
+        self._process_states: list[_ShardState] | None = None
         self._worker_rows = [0] * n_workers  # greedy-assignment load account
         self._drift_votes: set[int] = set()  # shards voting since last swap
 
@@ -404,7 +454,13 @@ class ShardedDetectionService:
 
     # -- merging -----------------------------------------------------------------
     def _emit(self, event: Any) -> None:
-        self.n_disabled_sinks_ += len(emit_resilient(self.sinks, event))
+        if not self.sinks:
+            return
+        with trace_span("sink_emit", metrics=self.telemetry, tracer=self.tracer):
+            disabled = len(emit_resilient(self.sinks, event))
+        if disabled:
+            self.n_disabled_sinks_ += disabled
+            self._m_sink_disabled.inc(disabled)
 
     def _merge_round(
         self,
@@ -464,6 +520,8 @@ class ShardedDetectionService:
             self.n_samples_ += shard_result.n_samples
             self.n_alerts_ += len(alerts)
             self._latency_total += shard_result.latency_s
+            if self.metrics_every and self.n_batches_ % self.metrics_every == 0:
+                self._emit(MetricsEvent(batch_index=g, snapshot=self.metrics_snapshot()))
             yield BatchResult(
                 index=g,
                 scores=shard_result.scores,
@@ -563,7 +621,13 @@ class ShardedDetectionService:
             else None
         )
         return DetectionService(
-            self.detector, drift_monitor=monitor, **self._service_kwargs
+            self.detector,
+            drift_monitor=monitor,
+            # Shards inherit only the parent's *disabled* state; when enabled
+            # each shard records into its own fresh registry (folded by
+            # metrics_snapshot), never the parent's (threads would race).
+            telemetry=None if self.telemetry.enabled else self.telemetry,
+            **self._service_kwargs,
         )
 
     @staticmethod
@@ -575,11 +639,17 @@ class ShardedDetectionService:
         results = []
         for g, X in items:
             result = service.process_batch(X)
-            shadow_scores = (
-                service._score_micro_batched(X, shadow_detector)
-                if shadow_detector is not None and X.shape[0]
-                else None
-            )
+            shadow_scores = None
+            if shadow_detector is not None and X.shape[0]:
+                with trace_span(
+                    "shadow_score",
+                    metrics=service.telemetry,
+                    rows=int(X.shape[0]),
+                    batch_index=g,
+                ):
+                    shadow_scores = service._score_micro_batched(
+                        X, shadow_detector
+                    )
             results.append((g, result, shadow_scores))
         return results
 
@@ -603,26 +673,38 @@ class ShardedDetectionService:
                 for g, X in round_items:
                     shards[shard_of[g]].append((g, X))
                 shadow_detector = self._shadow_detector()
-                futures = [
-                    pool.submit(
-                        self._score_shard,
-                        self._shard_services[s],
-                        items,
-                        shadow_detector,
-                    )
-                    for s, items in enumerate(shards)
-                    if items
-                ]
                 per_batch: dict[int, BatchResult] = {}
                 shadow_by_batch: dict[int, np.ndarray] = {}
-                for future in futures:
-                    for g, result, shadow_scores in future.result():
-                        per_batch[g] = result
-                        if shadow_scores is not None:
-                            shadow_by_batch[g] = shadow_scores
-                yield from self._merge_round(
-                    per_batch, dict(round_items), shard_of, shadow_by_batch
-                )
+                with trace_span(
+                    "round_submit",
+                    metrics=self.telemetry,
+                    tracer=self.tracer,
+                    rows=sum(int(X.shape[0]) for _, X in round_items),
+                ):
+                    futures = [
+                        pool.submit(
+                            self._score_shard,
+                            self._shard_services[s],
+                            items,
+                            shadow_detector,
+                        )
+                        for s, items in enumerate(shards)
+                        if items
+                    ]
+                    for future in futures:
+                        self._collect(future.result(), per_batch, shadow_by_batch)
+                with trace_span(
+                    "round_merge",
+                    metrics=self.telemetry,
+                    tracer=self.tracer,
+                    rows=sum(r.n_samples for r in per_batch.values()),
+                ):
+                    merged = list(
+                        self._merge_round(
+                            per_batch, dict(round_items), shard_of, shadow_by_batch
+                        )
+                    )
+                yield from merged
                 candidate, rebootstrap = self._boundary_swap()
                 if candidate is not None:
                     # Every worker is idle between rounds: swap them all so
@@ -731,6 +813,15 @@ class ShardedDetectionService:
                 )
                 if self.n_worker_restarts_ >= self.max_worker_restarts:
                     self.degraded_ = True
+                    log_event(
+                        logging.ERROR,
+                        "worker_degraded",
+                        logger_=_logger,
+                        round_index=round_index,
+                        shards=tuple(sorted(failed)),
+                        restarts=self.n_worker_restarts_,
+                        reason=reason,
+                    )
                     self._emit(
                         WorkerRestart(
                             round_index=round_index,
@@ -743,6 +834,16 @@ class ShardedDetectionService:
                     )
                 else:
                     self.n_worker_restarts_ += 1
+                    self._m_worker_restarts.inc()
+                    log_event(
+                        logging.WARNING,
+                        "worker_restart",
+                        logger_=_logger,
+                        round_index=round_index,
+                        shards=tuple(sorted(failed)),
+                        restarts=self.n_worker_restarts_,
+                        reason=reason,
+                    )
                     self._emit(
                         WorkerRestart(
                             round_index=round_index,
@@ -766,6 +867,10 @@ class ShardedDetectionService:
             )
             for _ in range(self.n_workers)
         ]
+        if not self.telemetry.enabled:
+            for state in states:
+                state.metrics = self.telemetry
+        self._process_states = states
         with tempfile.TemporaryDirectory(prefix="repro-shard-") as tmp:
             snapshot_path = str(Path(tmp) / f"model_e{self.epoch_}")
             save_snapshot(self.detector, snapshot_path)
@@ -795,19 +900,34 @@ class ShardedDetectionService:
                         shadow_path = shadow_snapshot[1]
                     per_batch: dict[int, BatchResult] = {}
                     shadow_by_batch: dict[int, np.ndarray] = {}
-                    pool = self._supervise_round(
-                        pool,
-                        snapshot_path,
-                        shadow_path,
-                        states,
-                        shards,
-                        round_index,
-                        per_batch,
-                        shadow_by_batch,
-                    )
-                    yield from self._merge_round(
-                        per_batch, dict(round_items), shard_of, shadow_by_batch
-                    )
+                    with trace_span(
+                        "round_submit",
+                        metrics=self.telemetry,
+                        tracer=self.tracer,
+                        rows=sum(int(X.shape[0]) for _, X in round_items),
+                    ):
+                        pool = self._supervise_round(
+                            pool,
+                            snapshot_path,
+                            shadow_path,
+                            states,
+                            shards,
+                            round_index,
+                            per_batch,
+                            shadow_by_batch,
+                        )
+                    with trace_span(
+                        "round_merge",
+                        metrics=self.telemetry,
+                        tracer=self.tracer,
+                        rows=sum(r.n_samples for r in per_batch.values()),
+                    ):
+                        merged = list(
+                            self._merge_round(
+                                per_batch, dict(round_items), shard_of, shadow_by_batch
+                            )
+                        )
+                    yield from merged
                     candidate, rebootstrap = self._boundary_swap()
                     if candidate is not None:
                         # Publish the new epoch's snapshot for the workers and
@@ -851,15 +971,45 @@ class ShardedDetectionService:
                     sink.close()
         return self.report()
 
+    def _registries(self) -> list[MetricsRegistry]:
+        """All live registries in deterministic global fold order: the
+        parent's first, then each shard's (by shard index)."""
+        registries = [self.telemetry]
+        if self._shard_services is not None:
+            registries.extend(
+                service.telemetry for service in self._shard_services
+            )
+        if self._process_states is not None:
+            registries.extend(
+                state.metrics
+                for state in self._process_states
+                if state.metrics is not None
+            )
+        return registries
+
+    def metrics_snapshot(self) -> dict:
+        """Global metrics snapshot: parent + every shard, folded.
+
+        Folding happens on every call (the per-shard registries keep
+        accumulating), always in the same global order, so repeated
+        snapshots never double-count and counter values are identical
+        across sequential, thread and process runs of the same stream.
+        """
+        return MetricsRegistry.fold(self._registries()).snapshot()
+
     def report(self) -> ServiceReport:
         """Merged counters so far.
 
         ``total_time_s`` and the throughput are *wall-clock* over the whole
-        fan-out (that is the operator-visible rate); ``mean_batch_latency_s``
-        averages the per-batch scoring latencies measured inside the workers.
+        fan-out (that is the operator-visible rate — per-batch scoring time
+        sums across concurrent workers and would overstate the elapsed
+        time); ``mean_batch_latency_s`` and the percentiles come from the
+        per-batch latencies measured inside the workers (folded histogram).
         """
         rate_timer = Timer(total=self.timer.total, n_calls=1)
         throughput = rate_timer.throughput(self.n_samples_) if self.n_samples_ else 0.0
+        folded = MetricsRegistry.fold(self._registries())
+        hist = folded.histogram("pipeline.batch_seconds", unit="seconds")
         return ServiceReport(
             n_batches=self.n_batches_,
             n_samples=self.n_samples_,
@@ -871,6 +1021,9 @@ class ShardedDetectionService:
             mean_batch_latency_s=(
                 self._latency_total / self.n_batches_ if self.n_batches_ else 0.0
             ),
+            batch_latency_p50_s=hist.percentile(0.50),
+            batch_latency_p95_s=hist.percentile(0.95),
+            batch_latency_p99_s=hist.percentile(0.99),
             n_quarantined=self.n_quarantined_,
             n_worker_restarts=self.n_worker_restarts_,
             n_disabled_sinks=self.n_disabled_sinks_,

@@ -33,6 +33,7 @@ event, and lets ``resolve`` keep serving the newest intact version.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import re
 import shutil
@@ -54,8 +55,11 @@ from repro.serve.snapshot import (
     read_manifest,
     save_snapshot,
 )
+from repro.serve.telemetry.log import get_logger, log_event
 
 __all__ = ["ModelRegistry", "SnapshotInfo"]
+
+_logger = get_logger("registry")
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _VERSION_DIR = re.compile(r"^v(\d+)$")
@@ -258,6 +262,15 @@ class ModelRegistry:
             except json.JSONDecodeError:
                 if any(rest.strip() for rest in lines[i + 1 :]):
                     raise
+                # Warned for API users *and* logged for operators: the same
+                # fact travels both channels (see repro.serve.telemetry.log).
+                log_event(
+                    logging.WARNING,
+                    "history_truncated_line",
+                    logger_=_logger,
+                    path=str(path),
+                    line_index=i,
+                )
                 warnings.warn(
                     f"skipping truncated trailing record in {path} "
                     "(crash mid-append); lineage up to it is intact",

@@ -19,7 +19,14 @@ online scorer with the operational pieces a deployment needs:
   :class:`~repro.serve.registry.ModelRegistry` (see
   :func:`make_registry_reload`);
 * **throughput/latency counters** built on
-  :meth:`repro.utils.timing.Timer.throughput`.
+  :meth:`repro.utils.timing.Timer.throughput`;
+* **telemetry** (:mod:`repro.serve.telemetry`) — every pipeline stage
+  (quarantine scan, scoring, threshold update, drift check, sink emit,
+  shadow double-score) runs under a :func:`~repro.serve.telemetry.trace_span`
+  feeding a mergeable :class:`~repro.serve.telemetry.MetricsRegistry`
+  (``metrics_snapshot()``), with optional JSONL span traces (``tracer``) and
+  a periodic :class:`~repro.serve.telemetry.MetricsEvent` through the sinks
+  (``metrics_every``).
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ import numpy as np
 from repro.metrics.thresholds import quantile_threshold
 from repro.serve.drift import DriftMonitor, DriftReport, _RingBuffer
 from repro.serve.faults import QuarantinedRows, emit_resilient, wrap_sinks
+from repro.serve.telemetry.metrics import MetricsRegistry
+from repro.serve.telemetry.tracing import SpanTracer, trace_span
 from repro.utils.timing import Timer
 
 __all__ = [
@@ -144,6 +153,9 @@ class ServiceReport:
     total_time_s: float = 0.0
     throughput_samples_per_sec: float = 0.0
     mean_batch_latency_s: float = 0.0
+    batch_latency_p50_s: float = 0.0
+    batch_latency_p95_s: float = 0.0
+    batch_latency_p99_s: float = 0.0
     n_quarantined: int = 0
     n_worker_restarts: int = 0
     n_disabled_sinks: int = 0
@@ -158,6 +170,9 @@ class ServiceReport:
             "total_time_s": self.total_time_s,
             "throughput_samples_per_sec": self.throughput_samples_per_sec,
             "mean_batch_latency_s": self.mean_batch_latency_s,
+            "batch_latency_p50_s": self.batch_latency_p50_s,
+            "batch_latency_p95_s": self.batch_latency_p95_s,
+            "batch_latency_p99_s": self.batch_latency_p99_s,
             "n_quarantined": self.n_quarantined,
             "n_worker_restarts": self.n_worker_restarts,
             "n_disabled_sinks": self.n_disabled_sinks,
@@ -169,6 +184,9 @@ class ServiceReport:
             f"processed {self.n_samples} flows in {self.n_batches} batches "
             f"({self.throughput_samples_per_sec:,.0f} flows/s, "
             f"{1e3 * self.mean_batch_latency_s:.2f} ms/batch)",
+            f"batch latency: p50 {1e3 * self.batch_latency_p50_s:.2f} ms · "
+            f"p95 {1e3 * self.batch_latency_p95_s:.2f} ms · "
+            f"p99 {1e3 * self.batch_latency_p99_s:.2f} ms",
             f"alerts: {self.n_alerts}",
         ]
         if self.n_drift_events:
@@ -233,6 +251,20 @@ class DetectionService:
         pending candidate (same micro-batched scorer) and the swap waits for
         the live-agreement verdict.  Mutually exclusive with ``on_drift`` —
         both reacting to the same firing would double the swaps.
+    telemetry:
+        Optional :class:`~repro.serve.telemetry.MetricsRegistry` to record
+        into; a fresh registry is created when omitted (telemetry is always
+        on — its hot-path cost is a few microseconds per batch).  Pass
+        :data:`~repro.serve.telemetry.DISABLED` to switch instrumentation
+        off entirely.  ``metrics_snapshot()`` exports the registry.
+    tracer:
+        Optional :class:`~repro.serve.telemetry.SpanTracer`; when set, every
+        pipeline-stage span is also appended to its JSONL trace file
+        (``repro serve --trace-file``).
+    metrics_every:
+        Emit a :class:`~repro.serve.telemetry.MetricsEvent` carrying the
+        current metrics snapshot through the sinks every N batches
+        (``None`` = never).
     """
 
     def __init__(
@@ -249,6 +281,9 @@ class DetectionService:
         on_drift: Callable[["DetectionService", DriftReport], None] | None = None,
         lifecycle: Any = None,
         quarantine_wrong_width: bool = False,
+        telemetry: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+        metrics_every: int | None = None,
     ) -> None:
         if isinstance(threshold, str) and threshold not in ("auto", "rolling"):
             raise ValueError("threshold must be a float, 'auto' or 'rolling'")
@@ -260,6 +295,8 @@ class DetectionService:
             raise ValueError("min_rolling must be at least 1")
         if micro_batch_size < 1:
             raise ValueError("micro_batch_size must be at least 1")
+        if metrics_every is not None and metrics_every < 1:
+            raise ValueError("metrics_every must be at least 1 (or None)")
         if lifecycle is not None and on_drift is not None:
             raise ValueError(
                 "pass either lifecycle or on_drift, not both: two handlers "
@@ -276,6 +313,31 @@ class DetectionService:
         self.on_drift = on_drift
         self.lifecycle = lifecycle
         self.quarantine_wrong_width = quarantine_wrong_width
+        self.telemetry = MetricsRegistry() if telemetry is None else telemetry
+        self.tracer = tracer
+        self.metrics_every = metrics_every
+        # Instrument handles are resolved once: the per-batch path must not
+        # pay a registry dict lookup per counter.
+        self._m_batches = self.telemetry.counter("pipeline.batches", unit="batches")
+        self._m_rows = self.telemetry.counter("pipeline.rows", unit="rows")
+        self._m_alerts = self.telemetry.counter("pipeline.alerts", unit="alerts")
+        self._m_drift = self.telemetry.counter("pipeline.drift_events", unit="events")
+        self._m_quarantined = self.telemetry.counter(
+            "pipeline.quarantined_rows", unit="rows"
+        )
+        self._m_batch_seconds = self.telemetry.histogram(
+            "pipeline.batch_seconds", unit="seconds"
+        )
+        self._m_batch_rows = self.telemetry.histogram(
+            "pipeline.batch_rows", unit="rows"
+        )
+        # The lifecycle manager inherits this service's telemetry channel
+        # unless it was wired to its own (refit/gate/publish spans land in
+        # the same registry the batch spans do).
+        if lifecycle is not None and getattr(lifecycle, "telemetry", None) is None:
+            lifecycle.telemetry = self.telemetry
+            if getattr(lifecycle, "tracer", None) is None:
+                lifecycle.tracer = tracer
 
         self.timer = Timer()
         self.epoch_ = 0
@@ -383,7 +445,13 @@ class DetectionService:
         )
 
     def _emit(self, event: Any) -> None:
-        self.n_disabled_sinks_ += len(emit_resilient(self.sinks, event))
+        if not self.sinks:
+            return
+        # Span only when there are sinks to pay for: the sharded service's
+        # sinkless shard workers record no emit spans, so folding their
+        # registries into the sink-owning parent's matches a sequential run.
+        with trace_span("sink_emit", metrics=self.telemetry, tracer=self.tracer):
+            self.n_disabled_sinks_ += len(emit_resilient(self.sinks, event))
 
     def process_batch(self, X: np.ndarray) -> BatchResult:
         """Score one batch: thresholds, alerts, drift, counters.
@@ -417,11 +485,21 @@ class DetectionService:
         quarantined: tuple[int, ...] = ()
         quarantine_reason: str | None = None
         if X.shape[0]:
-            finite = np.isfinite(X).all(axis=1)
-            if not finite.all():
-                quarantined = tuple(int(i) for i in np.flatnonzero(~finite))
+            with trace_span(
+                "quarantine_scan",
+                metrics=self.telemetry,
+                tracer=self.tracer,
+                rows=int(X.shape[0]),
+                batch_index=self.n_batches_,
+            ):
+                finite = np.isfinite(X).all(axis=1)
+                if not finite.all():
+                    quarantined = tuple(int(i) for i in np.flatnonzero(~finite))
+                    X = np.ascontiguousarray(X[finite])
+            if quarantined:
                 quarantine_reason = "non-finite feature values"
                 self.n_quarantined_ += len(quarantined)
+                self._m_quarantined.inc(len(quarantined))
                 self._emit(
                     QuarantinedRows(
                         batch_index=self.n_batches_,
@@ -429,7 +507,6 @@ class DetectionService:
                         reason=quarantine_reason,
                     )
                 )
-                X = np.ascontiguousarray(X[finite])
         batch_index = self.n_batches_
         offset = self.n_samples_
         model_epoch = self.epoch_  # a drift-triggered swap below must not retag
@@ -442,24 +519,49 @@ class DetectionService:
         )
         shadow_scores: np.ndarray | None = None
         accumulated = self.timer.total
+        n_rows = int(X.shape[0])
         with self.timer:
-            if X.shape[0]:
-                scores = self._score_micro_batched(X)
+            if n_rows:
+                with trace_span(
+                    "score",
+                    metrics=self.telemetry,
+                    tracer=self.tracer,
+                    rows=n_rows,
+                    batch_index=batch_index,
+                ):
+                    scores = self._score_micro_batched(X)
                 # Threshold comes from the window *before* this batch (else a
                 # burst of anomalies would inflate its own threshold and evade
                 # alerting); only then does the batch enter the window.
-                threshold = self._current_threshold(scores)
-                self._rolling.extend(scores[:, None])
+                with trace_span(
+                    "threshold_update",
+                    metrics=self.telemetry,
+                    tracer=self.tracer,
+                    batch_index=batch_index,
+                ):
+                    threshold = self._current_threshold(scores)
+                    self._rolling.extend(scores[:, None])
                 predictions = (scores > threshold).astype(np.int64)
                 if shadow_detector is not None:
                     # Double-scoring is the whole cost of a shadow round; it
                     # counts toward the batch latency like any scoring work.
-                    shadow_scores = self._score_micro_batched(X, shadow_detector)
+                    with trace_span(
+                        "shadow_score",
+                        metrics=self.telemetry,
+                        tracer=self.tracer,
+                        rows=n_rows,
+                        batch_index=batch_index,
+                    ):
+                        shadow_scores = self._score_micro_batched(
+                            X, shadow_detector
+                        )
             else:
                 scores = np.empty(0, dtype=np.float64)
                 threshold = float("nan")
                 predictions = np.empty(0, dtype=np.int64)
         latency = self.timer.total - accumulated
+        if scores.size:
+            self._record_fusion_diagnostics()
         alerts = tuple(
             Alert(
                 batch_index=batch_index,
@@ -474,7 +576,14 @@ class DetectionService:
 
         drift_report: DriftReport | None = None
         if self.drift_monitor is not None and scores.size:
-            drift_report = self.drift_monitor.update(scores, X)
+            with trace_span(
+                "drift_check",
+                metrics=self.telemetry,
+                tracer=self.tracer,
+                rows=int(scores.size),
+                batch_index=batch_index,
+            ):
+                drift_report = self.drift_monitor.update(scores, X)
         # Clean rows feed the refit window *before* any drift reaction: the
         # batch that fired the monitor is skipped by observe_batch, so the
         # acute transition never enters the window.
@@ -482,6 +591,7 @@ class DetectionService:
             self.lifecycle.observe_batch(X, scores, threshold, drift_report)
         if drift_report is not None and drift_report.drifted:
             self.n_drift_events_ += 1
+            self._m_drift.inc()
             self.drift_batches_.append(batch_index)
             self._emit(DriftEvent(batch_index=batch_index, report=drift_report))
             if self.lifecycle is not None:
@@ -497,6 +607,13 @@ class DetectionService:
         self.n_batches_ += 1
         self.n_samples_ += int(scores.shape[0])
         self.n_alerts_ += len(alerts)
+        self._m_batches.inc()
+        self._m_rows.inc(int(scores.shape[0]))
+        self._m_alerts.inc(len(alerts))
+        self._m_batch_seconds.observe(latency)
+        self._m_batch_rows.observe(float(scores.shape[0]))
+        if self.metrics_every and self.n_batches_ % self.metrics_every == 0:
+            self._emit(self.telemetry.event(batch_index))
         return BatchResult(
             index=batch_index,
             scores=scores,
@@ -520,12 +637,15 @@ class DetectionService:
         batch_index = self.n_batches_
         indices = tuple(range(n_rows))
         self.n_quarantined_ += n_rows
+        self._m_quarantined.inc(n_rows)
         self._emit(
             QuarantinedRows(
                 batch_index=batch_index, row_indices=indices, reason=reason
             )
         )
         self.n_batches_ += 1
+        self._m_batches.inc()
+        self._m_batch_rows.observe(0.0)
         return BatchResult(
             index=batch_index,
             scores=np.empty(0, dtype=np.float64),
@@ -563,14 +683,57 @@ class DetectionService:
                     sink.close()
         return self.report()
 
+    def _record_fusion_diagnostics(self) -> None:
+        """Publish the served detector's per-member fusion diagnostics.
+
+        :class:`~repro.serve.fusion.FusionDetector` records per-batch member
+        weights, conflict mass and failed-member state on itself after every
+        ``score_samples`` call; any detector exposing the same attributes is
+        picked up.  Gauges hold the *latest* batch's values (NaN-sanitized —
+        a failed member's weight is reported as 0 so snapshots stay strict
+        JSON); plain detectors record nothing.
+        """
+        weights = getattr(self.detector, "member_weights_", None)
+        if weights is None:
+            return
+        telemetry = self.telemetry
+        failed = getattr(self.detector, "member_failed_", ()) or ()
+        failed_indices = {entry.get("index") for entry in failed}
+        for i, weight in enumerate(weights):
+            weight = float(weight)
+            telemetry.gauge(f"fusion.member_weight.{i}", unit="weight").set(
+                weight if np.isfinite(weight) else 0.0
+            )
+            telemetry.gauge(f"fusion.member_failed.{i}", unit="flag").set(
+                1.0 if i in failed_indices else 0.0
+            )
+        conflict = getattr(self.detector, "conflict_mass_", None)
+        if conflict is not None:
+            conflict = float(conflict)
+            telemetry.gauge("fusion.conflict_mass", unit="mass").set(
+                conflict if np.isfinite(conflict) else 0.0
+            )
+
+    def metrics_snapshot(self) -> dict:
+        """Dict export of this service's metrics registry."""
+        return self.telemetry.snapshot()
+
     def report(self) -> ServiceReport:
         """Aggregate counters so far (usable mid-stream as well)."""
-        # Timer.throughput assumes a constant per-block item count; feeding it
-        # the mean batch size collapses to total items / total time.  With no
-        # samples the rate is 0.0, not Timer's "immeasurably fast" inf (which
-        # would also leak non-strict JSON through to_dict()).
-        rate_timer = Timer(total=self.timer.total, n_calls=1)
-        throughput = rate_timer.throughput(self.n_samples_) if self.n_samples_ else 0.0
+        # Throughput comes from the batch-latency histogram's exact sum — the
+        # true accumulated scoring time — with Timer.total as the fallback
+        # when telemetry is DISABLED.  With no samples the rate is 0.0, not
+        # an "immeasurably fast" inf (which would also leak non-strict JSON
+        # through to_dict()); a measured-as-zero elapsed keeps the historical
+        # inf semantics.
+        hist = self._m_batch_seconds
+        if self.n_samples_:
+            elapsed = hist.sum if hist.count else self.timer.total
+            throughput = (
+                self.n_samples_ / elapsed if elapsed > 0.0 else float("inf")
+            )
+        else:
+            throughput = 0.0
         return ServiceReport(
             n_batches=self.n_batches_,
             n_samples=self.n_samples_,
@@ -580,6 +743,9 @@ class DetectionService:
             total_time_s=self.timer.total,
             throughput_samples_per_sec=throughput,
             mean_batch_latency_s=self.timer.mean,
+            batch_latency_p50_s=hist.percentile(0.50),
+            batch_latency_p95_s=hist.percentile(0.95),
+            batch_latency_p99_s=hist.percentile(0.99),
             n_quarantined=self.n_quarantined_,
             n_disabled_sinks=self.n_disabled_sinks_,
         )

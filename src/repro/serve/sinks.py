@@ -14,7 +14,32 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Protocol
 
-__all__ = ["AlertSink", "ListSink", "JsonlSink", "CallbackSink"]
+__all__ = ["AlertSink", "ListSink", "JsonlSink", "CallbackSink", "read_events"]
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Load the JSONL event stream written by :class:`JsonlSink`.
+
+    Returns the events as plain dicts in file order.  A truncated *trailing*
+    line (process killed mid-append) is silently dropped — the same
+    crash-recovery contract as the model-registry history — while a corrupt
+    line anywhere else raises ``ValueError``, since that signals real damage
+    rather than an interrupted write.
+    """
+    path = Path(path)
+    events: list[dict] = []
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if i == len(lines) - 1:
+                break  # interrupted final append: recoverable by contract
+            raise ValueError(f"corrupt event line {i} in {path}") from exc
+    return events
 
 
 class AlertSink(Protocol):

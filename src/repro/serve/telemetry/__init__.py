@@ -1,0 +1,70 @@
+"""Serving telemetry: metrics registry, span tracing, logs and run reports.
+
+The observability substrate for :mod:`repro.serve`, in four pieces:
+
+* :mod:`~repro.serve.telemetry.metrics` — process-local, mergeable
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments behind
+  a :class:`MetricsRegistry` with a dict :meth:`~MetricsRegistry.snapshot`,
+  a :class:`MetricsEvent` for the sink fabric, and
+  :func:`deterministic_view` — the timing-free snapshot subset that
+  sequential, thread and process runs of the same stream agree on exactly.
+* :mod:`~repro.serve.telemetry.tracing` — :func:`trace_span` wraps each
+  pipeline stage, recording wall time + rows into the registry and
+  optionally to a :class:`SpanTracer` JSONL file (``serve --trace-file``).
+* :mod:`~repro.serve.telemetry.log` — the ``"repro.serve"`` stdlib logger
+  (NullHandler by default) carrying structured degradation records next to
+  the existing ``UserWarning`` channel; :func:`configure_logging` backs the
+  ``serve --log-level`` flag.
+* :mod:`~repro.serve.telemetry.report` — auditable run reports:
+  :func:`build_report` / :func:`render_markdown` produce sectioned
+  MET/NOT_MET verdicts with evidence (``report.json`` + ``report.md``),
+  :func:`build_run_summary` records reproducibility hashes, and
+  :func:`render_run_report` re-renders from a run directory
+  (``repro serve report``).
+"""
+
+from .log import configure_logging, get_logger, log_event, logger
+from .metrics import (
+    DISABLED,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsEvent,
+    MetricsRegistry,
+    deterministic_view,
+    log_spaced_buckets,
+)
+from .report import (
+    build_report,
+    build_run_summary,
+    config_sha256,
+    load_run_dir,
+    render_markdown,
+    render_run_report,
+    write_report_files,
+)
+from .tracing import SpanTracer, trace_span
+
+__all__ = [
+    "Counter",
+    "DISABLED",
+    "Gauge",
+    "Histogram",
+    "MetricsEvent",
+    "MetricsRegistry",
+    "SpanTracer",
+    "build_report",
+    "build_run_summary",
+    "config_sha256",
+    "configure_logging",
+    "deterministic_view",
+    "get_logger",
+    "load_run_dir",
+    "log_event",
+    "log_spaced_buckets",
+    "logger",
+    "render_markdown",
+    "render_run_report",
+    "trace_span",
+    "write_report_files",
+]

@@ -1,0 +1,123 @@
+"""Pipeline span tracing for the serving stack.
+
+:func:`trace_span` wraps one pipeline stage (quarantine scan, micro-batched
+scoring, threshold update, drift check, sink emit, worker round submit/merge,
+refit, gate, shadow double-score, registry publish) in a context manager that
+records the stage's wall time into a ``stage.<name>.seconds`` histogram and
+its row count into a ``stage.<name>.rows`` counter on a
+:class:`~repro.serve.telemetry.metrics.MetricsRegistry` — and, when a
+:class:`SpanTracer` is attached (``repro serve --trace-file``), appends one
+JSONL record per span so a run leaves a replayable trace on disk.
+
+The span object is a tiny ``__slots__`` class rather than a
+``@contextmanager`` generator: it sits inside the per-batch hot loop, and a
+generator frame costs several times more than the two ``perf_counter`` calls
+that do the actual work.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from time import perf_counter
+from typing import IO, Any
+
+from .metrics import DISABLED, MetricsRegistry
+
+__all__ = ["SpanTracer", "trace_span"]
+
+
+class SpanTracer:
+    """Append-only JSONL span sink (one object per span, sorted keys).
+
+    The file opens lazily on the first span and every ``record`` appends one
+    line, so a crashed run still leaves every completed span on disk.  Span
+    timestamps are reported as ``t_offset_s`` relative to the tracer's
+    construction (monotonic clock), which keeps traces comparable across
+    runs without leaking wall-clock time into the format.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self.n_spans = 0
+        self._origin = perf_counter()
+        self._file: IO[str] | None = None
+        self._lock = threading.Lock()
+
+    def record(self, span: dict[str, Any]) -> None:
+        line = json.dumps(span, sort_keys=True)
+        with self._lock:
+            if self._file is None:
+                self._file = open(self.path, "a", encoding="utf-8")
+            self._file.write(line + "\n")
+            self._file.flush()
+            self.n_spans += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "SpanTracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class trace_span:
+    """Context manager timing one pipeline stage into the metrics registry.
+
+    ``with trace_span("score", metrics=registry, rows=len(X)): ...`` records
+    the block's wall time into the ``stage.score.seconds`` histogram and adds
+    ``rows`` to the ``stage.score.rows`` counter; with a ``tracer`` it also
+    appends ``{"stage", "seconds", "rows", "batch_index", "t_offset_s",
+    "error"}`` as one JSONL line.  Exceptions propagate (the span records
+    them with ``"error": <type name>`` first), so instrumentation never
+    changes control flow.
+    """
+
+    __slots__ = ("stage", "metrics", "tracer", "rows", "batch_index", "_t0")
+
+    def __init__(
+        self,
+        stage: str,
+        *,
+        metrics: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+        rows: int = 0,
+        batch_index: int | None = None,
+    ) -> None:
+        self.stage = stage
+        self.metrics = DISABLED if metrics is None else metrics
+        self.tracer = tracer
+        self.rows = int(rows)
+        self.batch_index = batch_index
+        self._t0 = 0.0
+
+    def __enter__(self) -> "trace_span":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        elapsed = perf_counter() - self._t0
+        metrics = self.metrics
+        metrics.histogram(f"stage.{self.stage}.seconds", unit="seconds").observe(
+            elapsed
+        )
+        if self.rows:
+            metrics.counter(f"stage.{self.stage}.rows", unit="rows").inc(self.rows)
+        tracer = self.tracer
+        if tracer is not None:
+            span: dict[str, Any] = {
+                "stage": self.stage,
+                "seconds": elapsed,
+                "rows": self.rows,
+                "t_offset_s": self._t0 - tracer._origin,
+            }
+            if self.batch_index is not None:
+                span["batch_index"] = self.batch_index
+            if exc_type is not None:
+                span["error"] = exc_type.__name__
+            tracer.record(span)

@@ -1,0 +1,458 @@
+"""Telemetry layer: metrics primitives, span tracing, service wiring.
+
+The contracts under test (see :mod:`repro.serve.telemetry`):
+
+* instruments are O(1) memory, mergeable, and merge deterministically —
+  folding shard registries in global order reproduces a sequential run's
+  counters exactly, on thread *and* process workers;
+* ``trace_span`` records wall time + row counts into the registry and
+  (optionally) one JSONL record per span, and never alters control flow;
+* the serving services populate pipeline counters/histograms that agree
+  with their own ``ServiceReport``, expose fusion member diagnostics as
+  gauges, and emit periodic :class:`MetricsEvent` through the sink fabric;
+* degradations logged for operators land on the ``repro.serve`` logger in
+  ``event key=value`` form.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.datasets.streaming import FlowStream
+from repro.novelty import HBOS, IsolationForest, KNNDetector
+from repro.serve.drift import DriftMonitor
+from repro.serve.faults import ResilientSink
+from repro.serve.fusion import FusionDetector
+from repro.serve.parallel import ShardedDetectionService
+from repro.serve.service import DetectionService
+from repro.serve.sinks import ListSink
+from repro.serve.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsEvent,
+    MetricsRegistry,
+    SpanTracer,
+    deterministic_view,
+    log_event,
+    log_spaced_buckets,
+    trace_span,
+)
+from repro.serve.telemetry.metrics import DISABLED
+
+
+@pytest.fixture(scope="module")
+def stream_setup():
+    dataset = load_dataset("wustl_iiot", scale=0.0015, seed=0)
+    normal = dataset.normal_data()
+    detector = IsolationForest(n_estimators=20, random_state=0).fit(normal)
+    return dataset, normal, detector
+
+
+class TestPrimitives:
+    def test_log_spaced_buckets(self):
+        bounds = log_spaced_buckets(1e-6, 100.0, 41)
+        assert len(bounds) == 41
+        assert bounds[0] == pytest.approx(1e-6)
+        assert bounds[-1] == pytest.approx(100.0)
+        assert list(bounds) == sorted(bounds)
+        with pytest.raises(ValueError):
+            log_spaced_buckets(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            log_spaced_buckets(1.0, 2.0, 1)
+
+    def test_counter(self):
+        counter = Counter("c", unit="rows")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        other = Counter("c", unit="rows")
+        other.inc(8)
+        counter.merge(other)
+        assert counter.value == 50
+        assert counter.export() == {"value": 50, "unit": "rows"}
+
+    def test_gauge_merge_adopts_last_set_in_fold_order(self):
+        never_set = Gauge("g")
+        late = Gauge("g")
+        late.set(3.5)
+        never_set.merge(late)
+        assert never_set.value == 3.5
+        # Merging a never-set gauge must NOT clobber an adopted value.
+        late.merge(Gauge("g"))
+        assert late.value == 3.5
+        assert late.n_sets == 1
+
+    def test_histogram_exact_aggregates_and_percentiles(self):
+        hist = Histogram("h", unit="seconds")
+        for value in (1e-4, 2e-4, 3e-4, 4e-4, 1e-2):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(0.011)
+        assert hist.min == pytest.approx(1e-4)
+        assert hist.max == pytest.approx(1e-2)
+        # Percentiles are bucket estimates clamped to the observed range.
+        assert hist.min <= hist.percentile(0.5) <= hist.max
+        assert hist.percentile(0.99) == pytest.approx(1e-2, rel=0.6)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_histogram_single_value_reports_it_everywhere(self):
+        hist = Histogram("h", unit="seconds")
+        hist.observe(0.025)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert hist.percentile(q) == pytest.approx(0.025)
+
+    def test_empty_histogram_exports_zeros(self):
+        export = Histogram("h").export()
+        assert export["count"] == 0
+        assert export["min"] == 0.0 and export["max"] == 0.0
+        assert export["p50"] == 0.0
+
+    def test_histogram_merge_requires_identical_buckets(self):
+        a = Histogram("h", unit="seconds")
+        b = Histogram("h", unit="seconds")
+        a.observe(1e-3)
+        b.observe(2e-3)
+        a.merge(b)
+        assert a.count == 2
+        assert a.sum == pytest.approx(3e-3)
+        odd = Histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.merge(odd)
+
+    def test_histogram_overflow_bucket(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1e9)
+        assert hist.counts[-1] == 1
+        assert hist.percentile(0.5) == pytest.approx(1e9)
+
+
+class TestRegistry:
+    def test_get_or_create_and_kind_conflicts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("pipeline.rows", unit="rows")
+        assert registry.counter("pipeline.rows") is counter
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("pipeline.rows")
+        assert "pipeline.rows" in registry
+        assert registry.names() == ["pipeline.rows"]
+
+    def test_merge_unit_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.counter("c", unit="rows").inc()
+        b = MetricsRegistry()
+        b.counter("c", unit="batches").inc()
+        with pytest.raises(ValueError, match="unit"):
+            a.merge(b)
+
+    def test_fold_is_pure_and_repeatable(self):
+        shards = []
+        for i in range(3):
+            shard = MetricsRegistry()
+            shard.counter("pipeline.rows", unit="rows").inc(10 * (i + 1))
+            shard.histogram("pipeline.batch_seconds").observe(1e-3 * (i + 1))
+            shard.gauge("fusion.conflict_mass", unit="mass").set(float(i))
+            shards.append(shard)
+        first = MetricsRegistry.fold(shards).snapshot()
+        second = MetricsRegistry.fold(shards).snapshot()
+        # Folding never mutates the inputs — repeat folds cannot double-count.
+        assert first == second
+        assert first["counters"]["pipeline.rows"]["value"] == 60
+        assert first["histograms"]["pipeline.batch_seconds"]["count"] == 3
+        # Gauges adopt the last-set value in fold order.
+        assert first["gauges"]["fusion.conflict_mass"]["value"] == 2.0
+
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        registry.histogram("h").observe(0.5)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)
+        assert list(snapshot["counters"]) == ["a", "b"]
+
+    def test_registry_pickles(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        registry.histogram("h").observe(2e-3)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.snapshot() == registry.snapshot()
+
+    def test_disabled_registry_is_inert(self):
+        DISABLED.counter("c").inc(5)
+        DISABLED.gauge("g").set(1.0)
+        DISABLED.histogram("h").observe(0.5)
+        assert DISABLED.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert not DISABLED.enabled
+        live = MetricsRegistry()
+        live.counter("c").inc()
+        assert DISABLED.merge(live) is DISABLED
+
+    def test_metrics_event_to_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        event = registry.event(batch_index=4)
+        assert isinstance(event, MetricsEvent)
+        payload = event.to_dict()
+        assert payload["type"] == "metrics"
+        assert payload["batch_index"] == 4
+        assert payload["snapshot"]["counters"]["c"]["value"] == 1
+
+
+class TestTraceSpan:
+    def test_records_seconds_and_rows(self):
+        registry = MetricsRegistry()
+        with trace_span("score", metrics=registry, rows=128):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot["histograms"]["stage.score.seconds"]["count"] == 1
+        assert snapshot["counters"]["stage.score.rows"]["value"] == 128
+
+    def test_none_metrics_is_noop(self):
+        with trace_span("score", rows=10):
+            pass  # must not raise nor require a registry
+
+    def test_tracer_writes_jsonl_and_propagates_errors(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        registry = MetricsRegistry()
+        with SpanTracer(path) as tracer:
+            with trace_span("a", metrics=registry, tracer=tracer, rows=5,
+                            batch_index=2):
+                pass
+            with pytest.raises(RuntimeError):
+                with trace_span("b", metrics=registry, tracer=tracer):
+                    raise RuntimeError("boom")
+            assert tracer.n_spans == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [span["stage"] for span in lines] == ["a", "b"]
+        assert lines[0]["rows"] == 5
+        assert lines[0]["batch_index"] == 2
+        assert lines[0]["t_offset_s"] >= 0.0
+        assert lines[1]["error"] == "RuntimeError"
+        # The failing span still landed in the registry.
+        assert registry.snapshot()["histograms"]["stage.b.seconds"]["count"] == 1
+
+
+class TestServiceTelemetry:
+    def test_sequential_counters_match_report(self, stream_setup):
+        dataset, normal, detector = stream_setup
+        monitor = DriftMonitor().set_reference(
+            detector.score_samples(normal), normal
+        )
+        service = DetectionService(
+            detector, threshold="auto", drift_monitor=monitor
+        )
+        stream = FlowStream(
+            dataset, batch_size=97, drift_strength=1.5, random_state=0
+        )
+        list(service.process(stream))
+        report = service.report()
+        snapshot = service.metrics_snapshot()
+        counters = snapshot["counters"]
+        assert counters["pipeline.batches"]["value"] == report.n_batches
+        assert counters["pipeline.rows"]["value"] == report.n_samples
+        assert counters["pipeline.alerts"]["value"] == report.n_alerts
+        hist = snapshot["histograms"]["pipeline.batch_seconds"]
+        assert hist["count"] == report.n_batches
+        # The report's percentile fields read off the same histogram.
+        assert report.batch_latency_p50_s == pytest.approx(hist["p50"])
+        assert report.batch_latency_p99_s == pytest.approx(hist["p99"])
+        assert "batch latency: p50" in report.summary()
+        stages = snapshot["histograms"]
+        for stage in ("quarantine_scan", "score", "drift_check"):
+            assert stages[f"stage.{stage}.seconds"]["count"] == report.n_batches
+
+    def test_throughput_uses_measured_batch_time(self, stream_setup):
+        dataset, _, detector = stream_setup
+        service = DetectionService(detector, threshold="auto")
+        stream = FlowStream(dataset, batch_size=97, random_state=0)
+        list(service.process(stream))
+        report = service.report()
+        hist = service.telemetry.histogram("pipeline.batch_seconds")
+        assert report.throughput_samples_per_sec == pytest.approx(
+            report.n_samples / hist.sum
+        )
+
+    def test_metrics_every_emits_snapshot_events(self, stream_setup):
+        dataset, _, detector = stream_setup
+        sink = ListSink()
+        service = DetectionService(
+            detector, threshold="auto", sinks=[sink], metrics_every=3
+        )
+        stream = FlowStream(dataset, batch_size=97, random_state=0)
+        list(service.process(stream))
+        metrics_events = [
+            event for event in sink.events if isinstance(event, MetricsEvent)
+        ]
+        assert len(metrics_events) == service.n_batches_ // 3
+        last = metrics_events[-1].snapshot
+        assert last["counters"]["pipeline.batches"]["value"] > 0
+
+    def test_metrics_every_validation(self, stream_setup):
+        _, _, detector = stream_setup
+        with pytest.raises(ValueError):
+            DetectionService(detector, metrics_every=0)
+
+    def test_disabled_telemetry_records_nothing(self, stream_setup):
+        dataset, _, detector = stream_setup
+        service = DetectionService(detector, threshold="auto", telemetry=DISABLED)
+        stream = FlowStream(dataset, batch_size=97, random_state=0)
+        results = list(service.process(stream))
+        assert results
+        assert service.metrics_snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        # The report still works off the wall-clock timer fallback.
+        assert service.report().throughput_samples_per_sec > 0
+
+    def test_fusion_member_gauges(self, stream_setup):
+        dataset, normal, _ = stream_setup
+        fusion = FusionDetector(
+            [
+                IsolationForest(n_estimators=10, random_state=0),
+                KNNDetector(n_neighbors=5, random_state=0),
+                HBOS(n_bins=10),
+            ],
+            combine="pcr",
+        ).fit(normal)
+        service = DetectionService(fusion, threshold="auto")
+        stream = FlowStream(dataset, batch_size=97, random_state=0)
+        list(service.process(stream))
+        gauges = service.metrics_snapshot()["gauges"]
+        weights = [gauges[f"fusion.member_weight.{i}"]["value"] for i in range(3)]
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+        for i in range(3):
+            assert gauges[f"fusion.member_failed.{i}"]["value"] == 0.0
+        assert gauges["fusion.conflict_mass"]["value"] >= 0.0
+        # The attributes the gauges read from are populated on the detector.
+        assert len(fusion.member_weights_) == 3
+        assert math.isfinite(fusion.conflict_mass_)
+
+    def test_fusion_failed_member_flagged(self, stream_setup):
+        dataset, normal, _ = stream_setup
+
+        class Exploding(IsolationForest):
+            def score_samples(self, X):  # noqa: D102
+                raise RuntimeError("dead member")
+
+        fusion = FusionDetector(
+            [
+                IsolationForest(n_estimators=10, random_state=0),
+                Exploding(n_estimators=5, random_state=0),
+            ],
+            combine="mean",
+        )
+        fusion.detectors[0].fit(normal)
+        # Calibrate against the healthy committee, then break member 1.
+        healthy = FusionDetector(
+            [fusion.detectors[0], IsolationForest(n_estimators=5, random_state=1)],
+            combine="mean",
+            refit_members=True,
+        ).fit(normal)
+        fusion.loc_ = healthy.loc_
+        fusion.scale_ = healthy.scale_
+        fusion.n_features_ = healthy.n_features_
+        fusion.threshold_ = healthy.threshold_
+        service = DetectionService(fusion, threshold="auto")
+        stream = FlowStream(dataset, batch_size=97, random_state=0)
+        list(service.process(stream))
+        gauges = service.metrics_snapshot()["gauges"]
+        assert gauges["fusion.member_failed.1"]["value"] == 1.0
+        assert gauges["fusion.member_failed.0"]["value"] == 0.0
+        # A failed member's weight gauge reports 0.0 (its weight is nan).
+        assert gauges["fusion.member_weight.1"]["value"] == 0.0
+
+
+class TestOperatorLogging:
+    def test_log_event_renders_key_values(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.serve"):
+            log_event(logging.INFO, "sample_event", n=3, name="x")
+        assert len(caplog.records) == 1
+        assert caplog.records[0].message == "sample_event n=3 name='x'"
+
+    def test_sink_disable_is_logged(self, caplog):
+        class Broken:
+            def emit(self, event):
+                raise OSError("disk full")
+
+            def close(self):
+                pass
+
+        sink = ResilientSink(Broken(), retries=0, max_consecutive_errors=2)
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            assert sink.emit("e1") is None
+            assert sink.emit("e2") is not None  # the disabling emit
+        messages = [r.message for r in caplog.records]
+        assert any(m.startswith("sink_disabled sink='Broken'") for m in messages)
+
+
+class TestMergeDeterminism:
+    """Sequential == thread == process on the deterministic metrics view."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, stream_setup):
+        dataset, _, detector = stream_setup
+
+        def stream():
+            return FlowStream(
+                dataset, batch_size=97, drift_strength=1.5, random_state=0
+            )
+
+        views = {}
+        sequential = DetectionService(detector, threshold="auto")
+        list(sequential.process(stream()))
+        views["sequential"] = deterministic_view(sequential.metrics_snapshot())
+        for mode in ("thread", "process"):
+            sharded = ShardedDetectionService(
+                detector, n_workers=3, mode=mode, threshold="auto"
+            )
+            list(sharded.process(stream()))
+            views[mode] = deterministic_view(sharded.metrics_snapshot())
+        return views
+
+    def test_thread_and_process_views_identical(self, runs):
+        assert runs["thread"] == runs["process"]
+
+    def test_sharded_matches_sequential_on_shared_metrics(self, runs):
+        sequential = runs["sequential"]
+        for mode in ("thread", "process"):
+            sharded = runs[mode]
+            for group in ("counters", "histograms"):
+                shared = set(sequential[group]) & set(sharded[group])
+                assert shared, group
+                for name in shared:
+                    assert sequential[group][name] == sharded[group][name], (
+                        mode,
+                        name,
+                    )
+            # Pipeline totals must be among the shared (folded) metrics.
+            assert "pipeline.rows" in sequential["counters"]
+            assert "pipeline.rows" in sharded["counters"]
+
+    def test_sharded_adds_only_parent_side_metrics(self, runs):
+        extras = set(runs["thread"]["counters"]) - set(
+            runs["sequential"]["counters"]
+        )
+        assert extras <= {
+            "pipeline.worker_restarts",
+            "pipeline.sink_disabled",
+            "stage.round_submit.rows",
+            "stage.round_merge.rows",
+        }
