@@ -1,0 +1,176 @@
+"""Rule base class and the AST helpers every rule shares.
+
+A rule is a small object with an id, a severity, and two hooks:
+``check_module`` (called once per parsed file) and ``finalize`` (called once
+after every file has been seen, for whole-package contracts).  Rules scope
+themselves by *path shape* — ``repro/serve/`` and friends — rather than by
+import location, so fixture tests can lint an in-memory module under any
+pretend path and the CLI behaves identically on a copied tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import LintContext, ParsedModule
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "Rule",
+    "ScopedVisitor",
+    "dotted_name",
+    "has_consecutive_parts",
+    "in_repro_package",
+    "in_serve_package",
+]
+
+
+def has_consecutive_parts(module: ParsedModule, *wanted: str) -> bool:
+    """True when ``wanted`` appears as consecutive path components."""
+    parts = module.parts
+    n = len(wanted)
+    return any(parts[i : i + n] == wanted for i in range(len(parts) - n + 1))
+
+
+def in_repro_package(module: ParsedModule) -> bool:
+    return "repro" in module.parts
+
+
+def in_serve_package(module: ParsedModule) -> bool:
+    return has_consecutive_parts(module, "repro", "serve")
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """NodeVisitor that tracks the enclosing ``Class.method`` qualname."""
+
+    def __init__(self) -> None:
+        self._scope: list[str] = []
+
+    @property
+    def qualname(self) -> str:
+        return ".".join(self._scope) or "<module>"
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._scope.append(node.name)  # type: ignore[attr-defined]
+        self.generic_visit(node)
+        self._scope.pop()
+
+    visit_ClassDef = _visit_scope
+    visit_FunctionDef = _visit_scope
+    visit_AsyncFunctionDef = _visit_scope
+
+
+class Rule:
+    """Base class; subclasses set the id/title/severity and the hooks."""
+
+    rule_id: str = "RL000"
+    title: str = ""
+    severity: str = "error"
+    #: One-paragraph statement of what the rule intentionally does NOT catch.
+    false_negatives: str = ""
+
+    def check_module(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        return ()
+
+    def finding(
+        self,
+        module: ParsedModule,
+        node: ast.AST | None,
+        message: str,
+        *,
+        context: str = "<module>",
+        line: int | None = None,
+        col: int | None = None,
+        severity: str | None = None,
+    ) -> Finding:
+        lineno = line if line is not None else getattr(node, "lineno", 1)
+        column = col if col is not None else getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.rule_id,
+            severity=severity if severity is not None else self.severity,
+            path=module.display_path,
+            line=lineno,
+            col=column,
+            message=message,
+            context=context,
+            line_text=module.line_text(lineno),
+        )
+
+    def doc_finding(
+        self, display_path: str, line: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=display_path,
+            line=line,
+            col=0,
+            message=message,
+        )
+
+
+def collect_bound_names(statements: Sequence[ast.stmt]) -> set[str]:
+    """Names bound at module level, descending into Try/If/For/With blocks."""
+    bound: set[str] = set()
+    for stmt in statements:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                bound.add(alias.asname or alias.name)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                bound.update(_target_names(target))
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            bound.add(stmt.target.id)
+        elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            bound.add(stmt.target.id)
+        elif isinstance(stmt, ast.Try):
+            bound.update(collect_bound_names(stmt.body))
+            for handler in stmt.handlers:
+                bound.update(collect_bound_names(handler.body))
+            bound.update(collect_bound_names(stmt.orelse))
+            bound.update(collect_bound_names(stmt.finalbody))
+        elif isinstance(stmt, ast.If):
+            bound.update(collect_bound_names(stmt.body))
+            bound.update(collect_bound_names(stmt.orelse))
+        elif isinstance(stmt, (ast.For, ast.While)):
+            bound.update(collect_bound_names(stmt.body))
+            bound.update(collect_bound_names(stmt.orelse))
+        elif isinstance(stmt, ast.With):
+            bound.update(collect_bound_names(stmt.body))
+    return bound
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names.update(_target_names(element))
+        return names
+    return set()

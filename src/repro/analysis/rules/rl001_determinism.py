@@ -1,0 +1,183 @@
+"""RL001 — determinism: no unseeded global RNG, no wall-clock in repro code.
+
+The serving stack's headline contract is that sequential, thread and process
+runs are bit-identical and every experiment replays from one integer seed.
+One ``np.random.shuffle`` against the global state, or one ``time.time()``
+feeding a score/threshold, silently breaks that.  This rule flags, anywhere
+under the ``repro`` package:
+
+- calls through NumPy's *global* RNG state (``np.random.seed/rand/shuffle``
+  and friends) — seeded generators from ``np.random.default_rng(seed)`` /
+  ``check_random_state`` are the sanctioned path and are not flagged;
+- ``np.random.default_rng()`` / ``np.random.RandomState()`` with no
+  arguments (an unseeded generator);
+- stdlib ``random`` module-level calls (``random.random``, ``random.seed``,
+  ``from random import shuffle`` …);
+- wall-clock reads: ``time.time``/``time.time_ns``, ``datetime.now``/
+  ``utcnow``/``today``, ``date.today``.  Monotonic timers
+  (``perf_counter``/``monotonic``) are measurement, not decision input, and
+  stay legal.
+
+Allowlisted modules: ``repro/serve/telemetry/`` (timestamps are the product
+there) and ``repro/utils/timing.py`` (the timing helper itself).  Deliberate
+exceptions elsewhere belong in the committed baseline with a reason, or
+behind an inline ``# reprolint: disable=RL001``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import LintContext, ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    Rule,
+    ScopedVisitor,
+    dotted_name,
+    has_consecutive_parts,
+    in_repro_package,
+)
+
+__all__ = ["DeterminismRule"]
+
+#: numpy.random module-level functions that hit the shared global state.
+_NP_GLOBAL_FNS = frozenset(
+    {
+        "seed", "random", "rand", "randn", "randint", "random_sample",
+        "ranf", "sample", "random_integers", "choice", "shuffle",
+        "permutation", "bytes", "uniform", "normal", "standard_normal",
+        "beta", "binomial", "exponential", "gamma", "poisson", "laplace",
+        "lognormal", "multinomial", "multivariate_normal", "get_state",
+        "set_state",
+    }
+)
+#: stdlib random module-level functions (all share one hidden Random()).
+_STDLIB_RANDOM_FNS = frozenset(
+    {
+        "random", "seed", "randint", "randrange", "choice", "choices",
+        "shuffle", "sample", "uniform", "gauss", "normalvariate",
+        "betavariate", "expovariate", "getrandbits", "triangular",
+        "vonmisesvariate", "paretovariate", "weibullvariate",
+    }
+)
+#: Canonical dotted names that read the wall clock.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+#: Modules whose import aliases we track for canonicalisation.
+_TRACKED_ROOTS = ("numpy", "random", "time", "datetime")
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted prefix, for the modules we care about.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy import random
+    as nr`` maps ``nr -> numpy.random``; ``from datetime import datetime``
+    maps ``datetime -> datetime.datetime``; ``from time import time`` maps
+    ``time -> time.time``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _TRACKED_ROOTS:
+                    aliases[alias.asname or root] = (
+                        alias.name if alias.asname else root
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            root = node.module.split(".")[0]
+            if root in _TRACKED_ROOTS:
+                for alias in node.names:
+                    if alias.name != "*":
+                        aliases[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+    return aliases
+
+
+class _Visitor(ScopedVisitor):
+    def __init__(self, rule: "DeterminismRule", module: ParsedModule) -> None:
+        super().__init__()
+        self.rule = rule
+        self.module = module
+        self.aliases = _collect_aliases(module.tree)
+        self.findings: list[Finding] = []
+
+    def _canonical(self, node: ast.expr) -> str | None:
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head not in self.aliases:
+            return None
+        canonical = self.aliases[head]
+        return f"{canonical}.{rest}" if rest else canonical
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._canonical(node.func)
+        if name is not None:
+            self._check_call(node, name)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, name: str) -> None:
+        message: str | None = None
+        if name in ("numpy.random.default_rng", "numpy.random.RandomState"):
+            if not node.args and not node.keywords:
+                short = name.rsplit(".", 1)[-1]
+                message = (
+                    f"unseeded `{short}()` — pass an explicit seed or route "
+                    "through `repro.utils.random.check_random_state`"
+                )
+        elif name.startswith("numpy.random.") and name.rsplit(".", 1)[-1] in _NP_GLOBAL_FNS:
+            message = (
+                f"`{name}` uses NumPy's global RNG state; use a seeded "
+                "`Generator` (check_random_state) instead"
+            )
+        elif name.startswith("random.") and name.rsplit(".", 1)[-1] in _STDLIB_RANDOM_FNS:
+            message = (
+                f"`{name}` uses the stdlib global RNG; use a seeded "
+                "`numpy.random.Generator` instead"
+            )
+        elif name in _WALL_CLOCK:
+            message = (
+                f"wall-clock read `{name}` in repro code; decision paths "
+                "must be replayable (monotonic timers are fine for timing)"
+            )
+        if message is not None:
+            self.findings.append(
+                self.rule.finding(self.module, node, message, context=self.qualname)
+            )
+
+
+class DeterminismRule(Rule):
+    rule_id = "RL001"
+    title = "No unseeded global RNG or wall-clock reads in repro code"
+    severity = "error"
+    false_negatives = (
+        "Only direct calls through tracked import aliases are seen; an RNG "
+        "module smuggled through a variable or a wall-clock read behind a "
+        "helper function is not flagged."
+    )
+
+    def _allowlisted(self, module: ParsedModule) -> bool:
+        return has_consecutive_parts(module, "serve", "telemetry") or (
+            module.display_path.endswith("utils/timing.py")
+        )
+
+    def check_module(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        if not in_repro_package(module) or self._allowlisted(module):
+            return ()
+        visitor = _Visitor(self, module)
+        visitor.visit(module.tree)
+        return visitor.findings

@@ -1,0 +1,221 @@
+"""RL002 — snapshot completeness: transient attrs must be honest.
+
+``repro.serve.snapshot`` persists a fitted estimator's entire ``__dict__``
+*except* the names a class declares in ``_snapshot_transient_`` (unioned
+across the MRO — see ``snapshot._transient_attrs``).  Transients round-trip
+as ``None``, so the contract is two-sided:
+
+1. every declared transient must actually be assigned somewhere in the
+   class (or a base) — a stale name silently stops excluding anything;
+2. a scoring entry point (``score_samples`` / ``decision_function`` /
+   ``predict`` / ``predict_proba`` / ``transform``) must not read a
+   transient attribute it never (re)assigns in the same method — after a
+   restore that attribute is ``None``.  The lazy-rebuild idiom
+   (``if self._forest_ is None: self._forest_ = ...``) passes because the
+   method contains a store.
+
+The declaration itself must be a literal tuple/list of string constants so
+it stays statically checkable.
+
+Class hierarchies are resolved by simple base-class name across every
+scanned module (heuristic: externally-defined bases are invisible).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.engine import LintContext, ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+__all__ = ["SnapshotCompletenessRule"]
+
+#: The class attribute ``repro.serve.snapshot._transient_attrs`` reads.
+TRANSIENT_ATTR = "_snapshot_transient_"
+#: Methods that make a class snapshot-relevant even without transients.
+_SAVE_METHODS = frozenset({"save", "_snapshot_state"})
+#: Serving-time entry points that must work from persisted state alone.
+_SCORING_METHODS = frozenset(
+    {"score_samples", "decision_function", "predict", "predict_proba", "transform"}
+)
+
+
+@dataclass
+class _ClassInfo:
+    module: ParsedModule
+    node: ast.ClassDef
+    bases: list[str]
+    #: Declared transient names -> declaration line.
+    transients: dict[str, int]
+    #: The declaration node when it is not a literal str tuple/list.
+    bad_declaration: ast.stmt | None
+    has_save: bool
+    #: method name -> self attributes stored / loaded (name -> first line).
+    stores: dict[str, dict[str, int]] = field(default_factory=dict)
+    loads: dict[str, dict[str, int]] = field(default_factory=dict)
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _analyze_method(info: _ClassInfo, method: ast.FunctionDef) -> None:
+    stores: dict[str, int] = {}
+    loads: dict[str, int] = {}
+    for node in ast.walk(method):
+        name = _self_attr(node)
+        if name is None:
+            continue
+        if isinstance(node.ctx, (ast.Store, ast.Del)):  # type: ignore[attr-defined]
+            stores.setdefault(name, node.lineno)
+        else:
+            loads.setdefault(name, node.lineno)
+    info.stores[method.name] = stores
+    info.loads[method.name] = loads
+
+
+def _analyze_class(module: ParsedModule, node: ast.ClassDef) -> _ClassInfo:
+    transients: dict[str, int] = {}
+    bad_declaration: ast.stmt | None = None
+    has_save = False
+    bases = [b.attr if isinstance(b, ast.Attribute) else getattr(b, "id", "") for b in node.bases]
+    info = _ClassInfo(
+        module=module,
+        node=node,
+        bases=[b for b in bases if b],
+        transients=transients,
+        bad_declaration=None,
+        has_save=False,
+    )
+    for stmt in node.body:
+        value = None
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == TRANSIENT_ATTR for t in stmt.targets
+        ):
+            value = stmt.value
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == TRANSIENT_ATTR
+        ):
+            value = stmt.value
+        if value is not None:
+            if isinstance(value, (ast.Tuple, ast.List)) and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                for e in value.elts
+            ):
+                for element in value.elts:
+                    transients[element.value] = element.lineno  # type: ignore[union-attr]
+            else:
+                bad_declaration = stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name in _SAVE_METHODS:
+                has_save = True
+            if isinstance(stmt, ast.FunctionDef):
+                _analyze_method(info, stmt)
+    info.bad_declaration = bad_declaration
+    info.has_save = has_save
+    return info
+
+
+class SnapshotCompletenessRule(Rule):
+    rule_id = "RL002"
+    title = "Snapshot transients are assigned, and never read raw when scoring"
+    severity = "error"
+    false_negatives = (
+        "Transient reads inside private helpers called from a scoring method "
+        "are not traced, and stores are matched by membership (a load before "
+        "the store in the same method passes). Bases defined outside the "
+        "scanned tree are invisible."
+    )
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        index: dict[str, list[_ClassInfo]] = {}
+        for module in context.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    index.setdefault(node.name, []).append(
+                        _analyze_class(module, node)
+                    )
+
+        def inherited_transients(info: _ClassInfo, seen: set[int]) -> set[str]:
+            names = set(info.transients)
+            seen.add(id(info))
+            for base in info.bases:
+                for base_info in index.get(base, ()):
+                    if id(base_info) not in seen:
+                        names |= inherited_transients(base_info, seen)
+            return names
+
+        def stored_anywhere(info: _ClassInfo, name: str, seen: set[int]) -> bool:
+            seen.add(id(info))
+            if any(name in stores for stores in info.stores.values()):
+                return True
+            return any(
+                stored_anywhere(base_info, name, seen)
+                for base in info.bases
+                for base_info in index.get(base, ())
+                if id(base_info) not in seen
+            )
+
+        findings: list[Finding] = []
+        for infos in index.values():
+            for info in infos:
+                if not info.transients and not info.has_save and info.bad_declaration is None:
+                    continue
+                cls = info.node.name
+                if info.bad_declaration is not None:
+                    findings.append(
+                        self.finding(
+                            info.module,
+                            info.bad_declaration,
+                            f"`{cls}.{TRANSIENT_ATTR}` must be a literal "
+                            "tuple/list of attribute-name strings so the "
+                            "snapshot contract stays statically checkable",
+                            context=cls,
+                        )
+                    )
+                for name, decl_line in info.transients.items():
+                    if not stored_anywhere(info, name, set()):
+                        findings.append(
+                            self.finding(
+                                info.module,
+                                None,
+                                f"transient `{name}` declared on `{cls}` is "
+                                "never assigned in the class or its scanned "
+                                "bases — stale declaration?",
+                                context=cls,
+                                line=decl_line,
+                            )
+                        )
+                transients = inherited_transients(info, set())
+                for method in sorted(info.loads):
+                    if method not in _SCORING_METHODS:
+                        continue
+                    loads = info.loads[method]
+                    stores = info.stores.get(method, {})
+                    for name in sorted(transients):
+                        if name in loads and name not in stores:
+                            findings.append(
+                                self.finding(
+                                    info.module,
+                                    None,
+                                    f"`{cls}.{method}` reads transient "
+                                    f"`{name}`, which is None after a "
+                                    "snapshot restore; rebuild it in the "
+                                    "method or drop it from "
+                                    f"`{TRANSIENT_ATTR}`",
+                                    context=f"{cls}.{method}",
+                                    line=loads[name],
+                                )
+                            )
+        return findings

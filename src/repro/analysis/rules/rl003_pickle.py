@@ -1,0 +1,102 @@
+"""RL003 — pickle ban: no pickle-family serialization in ``repro.serve``.
+
+Serving snapshots are deliberately pickle-free (versioned npz + JSON
+manifests) so artifacts are portable, auditable, and safe to load from a
+registry a crashed process left behind.  This rule bans, under
+``repro/serve/``:
+
+- importing ``pickle`` / ``cPickle`` / ``_pickle`` / ``dill`` / ``shelve`` /
+  ``joblib`` (import or from-import, any alias);
+- calling through those modules via any tracked alias;
+- ``numpy.load(..., allow_pickle=True)`` — the backdoor version of the same
+  mistake.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import LintContext, ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, ScopedVisitor, dotted_name, in_serve_package
+
+__all__ = ["PickleBanRule"]
+
+_BANNED_MODULES = frozenset(
+    {"pickle", "cPickle", "_pickle", "dill", "shelve", "joblib"}
+)
+
+
+class _Visitor(ScopedVisitor):
+    def __init__(self, rule: "PickleBanRule", module: ParsedModule) -> None:
+        super().__init__()
+        self.rule = rule
+        self.module = module
+        self.findings: list[Finding] = []
+        #: Local aliases bound to banned modules (``import pickle as pkl``).
+        self.banned_aliases: set[str] = set()
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            self.rule.finding(self.module, node, message, context=self.qualname)
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in _BANNED_MODULES:
+                self.banned_aliases.add(alias.asname or root)
+                self._flag(
+                    node,
+                    f"`import {alias.name}` in repro.serve — snapshots are "
+                    "pickle-free by contract; use the snapshot/manifest API",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module:
+            root = node.module.split(".")[0]
+            if root in _BANNED_MODULES:
+                self._flag(
+                    node,
+                    f"`from {node.module} import ...` in repro.serve — "
+                    "pickle-family serialization is banned here",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        if dotted is not None and dotted.split(".")[0] in self.banned_aliases:
+            self._flag(node, f"call through banned module: `{dotted}`")
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "allow_pickle"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                self._flag(
+                    node,
+                    "`allow_pickle=True` re-enables pickle under numpy; "
+                    "serve artifacts must load with allow_pickle=False",
+                )
+        self.generic_visit(node)
+
+
+class PickleBanRule(Rule):
+    rule_id = "RL003"
+    title = "No pickle/joblib serialization inside repro.serve"
+    severity = "error"
+    false_negatives = (
+        "Dynamic imports (`importlib.import_module('pickle')`) and modules "
+        "re-exported under an untracked name are not seen."
+    )
+
+    def check_module(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        if not in_serve_package(module):
+            return ()
+        visitor = _Visitor(self, module)
+        visitor.visit(module.tree)
+        return visitor.findings

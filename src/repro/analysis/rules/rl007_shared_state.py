@@ -1,0 +1,137 @@
+"""RL007 — shared-state discipline: pool-submitted code must not mutate self.
+
+``ShardedDetectionService`` keeps results bit-identical across thread and
+process modes by construction: everything submitted to a worker pool is a
+pure function of its arguments (a staticmethod or module-level function),
+and all shared-state mutation happens in parent-only round-boundary code
+(merge, swap coordination, supervision).  This rule pins the submit side of
+that contract inside any ``parallel.py`` under ``repro/serve/``:
+
+- for every ``<pool>.submit(target, ...)`` call, the ``target`` is resolved
+  within the module (``self._method`` / ``Class._method`` -> the method
+  def, a bare name -> the module-level function def);
+- a resolved target whose body assigns to ``self.<attr>`` (or declares
+  ``global``) is flagged: worker code would be mutating state the parent
+  and sibling workers share in thread mode.
+
+Documented false-negative contract: only *direct* submit targets are
+analyzed — callees of the target (e.g. the shard-local service methods it
+calls) are not traced, aliased callables (``fn = self._work; pool.submit
+(fn)``) are not resolved, and mutations through method calls rather than
+attribute stores are invisible.  The rule is a tripwire for the obvious
+regression, not an escape analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import LintContext, ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, in_serve_package
+
+__all__ = ["SharedStateRule"]
+
+
+def _function_index(
+    tree: ast.Module,
+) -> dict[str, tuple[ast.FunctionDef, bool]]:
+    """Callable name -> (def node, is_class_level).
+
+    Class-level targets run in *thread* pools here (shared module globals
+    and a shared ``self``), module-level targets in *process* pools (copied
+    globals) — which is why the two get different mutation checks.
+    """
+    index: dict[str, tuple[ast.FunctionDef, bool]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            index.setdefault(node.name, (node, False))
+        elif isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(stmt, ast.FunctionDef):
+                    index.setdefault(stmt.name, (stmt, True))
+    return index
+
+
+def _submit_targets(tree: ast.Module) -> list[tuple[str, int]]:
+    targets: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "submit"
+            and node.args
+        ):
+            target = node.args[0]
+            if isinstance(target, ast.Name):
+                targets.append((target.id, node.lineno))
+            elif isinstance(target, ast.Attribute):
+                targets.append((target.attr, node.lineno))
+    return targets
+
+
+def _shared_mutations(
+    func: ast.FunctionDef, *, class_level: bool
+) -> list[tuple[str, int]]:
+    mutations: list[tuple[str, int]] = []
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    mutations.append((f"self.{target.attr}", target.lineno))
+        elif isinstance(node, ast.Global) and class_level:
+            # Module-level submit targets run in worker *processes* with
+            # copied globals, so `global` there is process-local caching
+            # (the _WORKER_MODEL idiom); in a thread-submitted method the
+            # same statement would be a shared-state race.
+            mutations.append((f"global {', '.join(node.names)}", node.lineno))
+    return mutations
+
+
+class SharedStateRule(Rule):
+    rule_id = "RL007"
+    title = "Pool-submitted callables never mutate parent-shared state"
+    severity = "error"
+    false_negatives = (
+        "Only direct submit targets resolvable by name within parallel.py "
+        "are analyzed; callee chains, aliased callables, and mutation via "
+        "method calls are not traced."
+    )
+
+    def check_module(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        if not (
+            in_serve_package(module)
+            and module.display_path.endswith("parallel.py")
+        ):
+            return ()
+        index = _function_index(module.tree)
+        findings: list[Finding] = []
+        checked: set[str] = set()
+        for name, submit_line in _submit_targets(module.tree):
+            entry = index.get(name)
+            if entry is None or name in checked:
+                continue
+            checked.add(name)
+            func, class_level = entry
+            for description, lineno in _shared_mutations(func, class_level=class_level):
+                findings.append(
+                    self.finding(
+                        module,
+                        None,
+                        f"`{name}` is submitted to a worker pool (line "
+                        f"{submit_line}) but mutates shared state "
+                        f"(`{description}`); move the mutation to the "
+                        "parent's round-boundary code",
+                        context=name,
+                        line=lineno,
+                    )
+                )
+        return findings

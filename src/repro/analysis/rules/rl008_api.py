@@ -1,0 +1,182 @@
+"""RL008 — API surface: ``__all__`` is real, complete, and README-true.
+
+Package inits are the public face of the library; a stale ``__all__`` entry
+breaks ``from repro.x import *`` and wildcard-driven docs, and an imported
+symbol missing from ``__all__`` is an accidental (undocumented, unstable)
+export.  For every ``__init__.py``:
+
+1. ``__all__`` must be a literal list/tuple of strings (statically
+   auditable);
+2. every ``__all__`` entry must be bound in the module (import / def /
+   class / assignment, including inside ``try``/``if`` blocks);
+3. every *public* name the init re-exports from inside the ``repro``
+   package (relative or ``repro.*`` from-imports) must appear in
+   ``__all__`` — no accidental API.
+
+Additionally, import statements shown in README code fences
+(``from repro.x import name``) are cross-checked against the scanned
+modules: a README that demonstrates a symbol which no longer exists is a
+finding on the README line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.engine import LintContext, ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, collect_bound_names
+
+__all__ = ["ApiSurfaceRule"]
+
+_FENCE_RE = re.compile(r"^```")
+_IMPORT_RE = re.compile(r"^\s*from\s+(repro[\w.]*)\s+import\s+([\w,\s()]+?)\s*(?:#.*)?$")
+
+
+def _find_all(module: ParsedModule) -> tuple[ast.stmt | None, list[str] | None]:
+    """The ``__all__`` statement and its entries (None when non-literal)."""
+    for stmt in module.tree.body:
+        target = None
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+        ):
+            target = stmt.value
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__all__"
+        ):
+            target = stmt.value
+        if target is None:
+            continue
+        if isinstance(target, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in target.elts
+        ):
+            return stmt, [e.value for e in target.elts]  # type: ignore[union-attr]
+        return stmt, None
+    return None, None
+
+
+def _internal_reexports(module: ParsedModule) -> dict[str, int]:
+    """Public names bound by from-imports that stay inside the package."""
+    names: dict[str, int] = {}
+
+    def scan(statements: list[ast.stmt]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, ast.ImportFrom):
+                internal = stmt.level > 0 or (
+                    stmt.module is not None
+                    and stmt.module.split(".")[0] == "repro"
+                )
+                if not internal:
+                    continue
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name
+                    if bound != "*" and not bound.startswith("_"):
+                        names.setdefault(bound, stmt.lineno)
+            elif isinstance(stmt, ast.Try):
+                scan(stmt.body)
+                for handler in stmt.handlers:
+                    scan(handler.body)
+                scan(stmt.orelse)
+                scan(stmt.finalbody)
+            elif isinstance(stmt, ast.If):
+                scan(stmt.body)
+                scan(stmt.orelse)
+
+    scan(module.tree.body)
+    return names
+
+
+class ApiSurfaceRule(Rule):
+    rule_id = "RL008"
+    title = "__all__ lists exactly the names that exist; README imports resolve"
+    severity = "error"
+    false_negatives = (
+        "Only from-imports inside the repro package count as re-exports "
+        "(stdlib/numpy imports in an init are treated as implementation "
+        "detail); README checks cover `from repro... import ...` lines "
+        "only, not attribute references in prose."
+    )
+
+    def check_module(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        if not module.display_path.endswith("__init__.py"):
+            return ()
+        stmt, entries = _find_all(module)
+        if stmt is None:
+            return ()
+        findings: list[Finding] = []
+        if entries is None:
+            findings.append(
+                self.finding(
+                    module,
+                    stmt,
+                    "`__all__` must be a literal list/tuple of strings so "
+                    "the public API is statically auditable",
+                )
+            )
+            return findings
+        bound = collect_bound_names(module.tree.body)
+        for entry in entries:
+            if entry not in bound:
+                findings.append(
+                    self.finding(
+                        module,
+                        stmt,
+                        f"`__all__` lists '{entry}' but no such name is "
+                        "bound in this module",
+                    )
+                )
+        declared = set(entries)
+        for name, lineno in sorted(_internal_reexports(module).items()):
+            if name not in declared:
+                findings.append(
+                    self.finding(
+                        module,
+                        None,
+                        f"'{name}' is re-exported from inside the package "
+                        "but missing from `__all__` — either export it "
+                        "deliberately or import it underscored",
+                        line=lineno,
+                    )
+                )
+        return findings
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for display, text in context.docs:
+            in_fence = False
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                if _FENCE_RE.match(line.strip()):
+                    in_fence = not in_fence
+                    continue
+                if not in_fence:
+                    continue
+                match = _IMPORT_RE.match(line)
+                if match is None:
+                    continue
+                dotted, names_blob = match.groups()
+                module = context.module_by_dotted(dotted)
+                if module is None:
+                    continue  # module not part of this scan
+                bound = collect_bound_names(module.tree.body)
+                for segment in names_blob.strip("()").split(","):
+                    tokens = segment.split()
+                    if not tokens:
+                        continue
+                    name = tokens[0]
+                    if name not in bound:
+                        findings.append(
+                            self.doc_finding(
+                                display,
+                                lineno,
+                                f"README imports `{name}` from `{dotted}`, "
+                                "but that module does not bind it",
+                            )
+                        )
+        return findings

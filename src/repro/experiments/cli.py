@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments.cli all --profile paper --output results/
     python -m repro.experiments.cli serve --dataset wustl_iiot --detector iforest
     python -m repro.experiments.cli registry list --registry ./models
+    python -m repro.experiments.cli lint src/repro --format report
 
 Each experiment prints its formatted table; ``--output`` additionally writes
 one text file per experiment.  The ``serve`` and ``registry`` subcommands are
@@ -98,6 +99,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv)
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = _parser().parse_args(argv)
     config = build_config(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

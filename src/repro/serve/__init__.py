@@ -160,5 +160,6 @@ __all__ = [
     "render_run_report",
     "save_snapshot",
     "trace_span",
+    "wrap_sinks",
     "write_report_files",
 ]

@@ -249,9 +249,16 @@ class ResilientSink:
     def close(self) -> None:
         try:
             self.inner.close()
-        except Exception as exc:  # noqa: BLE001
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
             self.n_errors_ += 1
             self.last_error_ = exc
+            log_event(
+                logging.WARNING,
+                "sink_close_failed",
+                logger_=_logger,
+                sink=type(self.inner).__name__,
+                error=repr(exc),
+            )
 
 
 def wrap_sinks(sinks: Sequence[Any]) -> list[ResilientSink]:

@@ -1,0 +1,25 @@
+"""Known-bad RL001 snippets: global RNG state and wall-clock reads.
+
+Linted by the fixture tests under a pretend ``src/repro/...`` path; lines
+carrying the BAD marker are asserted to be flagged, every other line clean.
+"""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def sample_noise(n):
+    rng = np.random.default_rng()  # BAD
+    np.random.seed(0)  # BAD
+    values = np.random.rand(n)  # BAD
+    random.shuffle(values)  # BAD
+    return values + rng.standard_normal(n)
+
+
+def decide(score):
+    stamp = time.time()  # BAD
+    day = datetime.now()  # BAD
+    return score > 0.5, stamp, day

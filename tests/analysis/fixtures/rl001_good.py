@@ -1,0 +1,18 @@
+"""Known-good RL001 twin: seeded generators and monotonic timers only."""
+
+import time
+
+import numpy as np
+
+
+def sample_noise(n, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.random(n)
+    rng.shuffle(values)
+    return values + rng.standard_normal(n)
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,26 @@
+"""Known-bad RL002 snippets: snapshot-transient contract violations."""
+
+_NAMES = ("_cache_",)
+
+
+class BrokenDetector:
+    _snapshot_transient_ = ("_forest_", "ghost_")  # BAD: ghost_ never assigned
+
+    def fit(self, X):
+        self.trees_ = list(X)
+        self._forest_ = tuple(self.trees_)
+        return self
+
+    def save(self, path):
+        return path
+
+    def score_samples(self, X):
+        return [x in self._forest_ for x in X]  # BAD: raw transient read
+
+
+class DynamicDeclared:
+    _snapshot_transient_ = _NAMES  # BAD: not a literal tuple of strings
+
+    def fit(self, X):
+        self._cache_ = X
+        return self

@@ -1,0 +1,21 @@
+"""Known-good RL002 twin: the lazy-rebuild idiom for transients."""
+
+
+class LazyDetector:
+    _snapshot_transient_ = ("_forest_",)
+
+    def __init__(self):
+        self._forest_ = None
+
+    def fit(self, X):
+        self.trees_ = list(X)
+        self._forest_ = tuple(self.trees_)
+        return self
+
+    def save(self, path):
+        return path
+
+    def score_samples(self, X):
+        if self._forest_ is None:
+            self._forest_ = tuple(self.trees_)
+        return [x in self._forest_ for x in X]

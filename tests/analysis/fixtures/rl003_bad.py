@@ -1,0 +1,18 @@
+"""Known-bad RL003 snippets: pickle-family serialization in serve code."""
+
+import pickle  # BAD
+import joblib as jl  # BAD
+from shelve import open as shelve_open  # BAD
+
+import numpy as np
+
+
+def save(obj, path):
+    with open(path, "wb") as handle:
+        pickle.dump(obj, handle)  # BAD: call through banned module
+    jl.dump(obj, path)  # BAD: call through banned alias
+    return shelve_open(str(path))
+
+
+def load(path):
+    return np.load(path, allow_pickle=True)  # BAD: pickle backdoor

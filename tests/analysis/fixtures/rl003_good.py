@@ -1,0 +1,14 @@
+"""Known-good RL003 twin: npz + JSON, pickle stays off."""
+
+import json
+
+import numpy as np
+
+
+def save(arrays, meta, path, meta_path):
+    np.savez(path, **arrays)
+    meta_path.write_text(json.dumps(meta, sort_keys=True))
+
+
+def load(path):
+    return np.load(path, allow_pickle=False)

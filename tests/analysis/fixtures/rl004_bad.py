@@ -1,0 +1,38 @@
+"""Known-bad RL004 snippets: emitted events with broken to_dict schemas."""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class NoDict:  # BAD: emitted through sinks but defines no to_dict
+    batch_index: int
+
+
+@dataclass
+class MissingType:
+    batch_index: int
+
+    def to_dict(self):  # BAD: no 'type' discriminator key
+        return {"batch_index": self.batch_index}
+
+
+@dataclass
+class Opaque:
+    batch_index: int
+
+    def to_dict(self):  # BAD: keys not statically literal
+        return asdict(self)
+
+
+class Emitter:
+    def __init__(self, sinks):
+        self.sinks = sinks
+
+    def _emit(self, event):
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def run(self):
+        self._emit(NoDict(batch_index=0))
+        self._emit(MissingType(batch_index=1))
+        self._emit(Opaque(batch_index=2))

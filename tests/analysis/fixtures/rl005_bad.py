@@ -1,0 +1,24 @@
+"""Known-bad RL005 snippets: swallowed and bare excepts."""
+
+
+def careless(fn):
+    try:
+        return fn()
+    except:  # BAD: bare except
+        return None
+
+
+def silent(fn):
+    try:
+        return fn()
+    except Exception:  # BAD: pass-only body
+        pass
+
+
+def mute(fn):
+    result = None
+    try:
+        result = fn()
+    except (ValueError, Exception):  # BAD: swallows without reacting
+        result = None
+    return result

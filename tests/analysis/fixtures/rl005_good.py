@@ -1,0 +1,28 @@
+"""Known-good RL005 twin: broad handlers that log, re-raise, or fall back."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except Exception:
+        logger.warning("fn failed", exc_info=True)
+        raise
+
+
+def isolated(fn, fallback):
+    try:
+        return fn()
+    except Exception as exc:
+        logger.warning("fn failed: %r", exc)
+        return fallback
+
+
+def narrow(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None

@@ -1,0 +1,19 @@
+"""Known-bad RL007 twin (pretend path: repro/serve/parallel.py)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class BadShardedService:
+    def __init__(self):
+        self.counter_ = 0
+
+    def _score_shard(self, items):
+        self.counter_ += 1  # BAD: pool-submitted method mutates shared self
+        global _SCRATCH  # BAD: global in a thread-submitted method
+        _SCRATCH = items
+        return items
+
+    def run(self, shards):
+        with ThreadPoolExecutor() as pool:
+            futures = [pool.submit(self._score_shard, items) for items in shards]
+            return [future.result() for future in futures]

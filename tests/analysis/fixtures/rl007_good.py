@@ -1,0 +1,25 @@
+"""Known-good RL007 twin: workers pure, parent merges at round boundary."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class GoodShardedService:
+    def __init__(self):
+        self.results_ = []
+
+    @staticmethod
+    def _score_shard(service, items):
+        return [service.score(item) for item in items]
+
+    def _merge_round(self, results):
+        self.results_.extend(results)
+        self.n_rounds_ = len(self.results_)
+
+    def run(self, service, shards):
+        with ThreadPoolExecutor() as pool:
+            futures = [
+                pool.submit(self._score_shard, service, items) for items in shards
+            ]
+            for future in futures:
+                self._merge_round(future.result())
+        return self.results_

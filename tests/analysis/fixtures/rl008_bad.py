@@ -1,0 +1,5 @@
+"""Known-bad RL008 twin (pretend path: a package __init__.py)."""
+
+from .core import exported_helper, hidden_helper  # BAD: hidden_helper unexported
+
+__all__ = ["exported_helper", "missing_name"]  # BAD: missing_name unbound

@@ -1,0 +1,10 @@
+"""Known-good RL008 twin: __all__ and the bound names agree."""
+
+from pathlib import Path
+
+from .core import exported_helper
+from .core import hidden_helper as _hidden_helper
+
+__all__ = ["exported_helper", "local_constant"]
+
+local_constant = _hidden_helper(Path("."))
