@@ -14,8 +14,18 @@ when any of them regresses:
   to the :data:`~repro.serve.telemetry.metrics.DISABLED` registry
   (``overhead_vs_uninstrumented`` on the instrumented entry makes the
   instrumentation tax explicit — the acceptance bound is 5%);
+* ``process_batch[traced]`` — the same batch with a full
+  :class:`~repro.serve.telemetry.context.TraceContext` and a
+  :class:`~repro.serve.telemetry.tracing.SpanBuffer` attached (distributed
+  trace ids allocated per span), held to the same 5% bound — trace context
+  must ride along for free;
 * ``trace_span[enter_exit]`` — bare span enter/exit cycles per second
   against a live registry (the unit cost every instrumented stage pays);
+* ``metrics_exposition[render]`` — :func:`render_prometheus` over a folded
+  snapshot, renders per second (paid per ``/metrics`` scrape);
+* ``mem_sample`` — one :meth:`MemoryProfiler.sample` (RSS read + gauge and
+  histogram update), samples per second (paid per batch under
+  ``--profile-mem``);
 * ``registry_merge[shards=N]`` — :meth:`MetricsRegistry.fold` over ``N``
   populated shard registries, folds per second (paid per snapshot/report
   in a sharded service);
@@ -40,10 +50,14 @@ from repro._version import __version__
 from repro.novelty import IsolationForest
 from repro.serve.service import DetectionService
 from repro.serve.telemetry import (
+    MemoryProfiler,
     MetricsRegistry,
+    SpanBuffer,
+    TraceContext,
     build_report,
     build_run_summary,
     render_markdown,
+    render_prometheus,
     trace_span,
 )
 from repro.serve.telemetry.metrics import DISABLED
@@ -103,6 +117,19 @@ def run_bench(
         "overhead_vs_uninstrumented": on_s / off_s,
     }
 
+    traced_service = DetectionService(
+        detector,
+        threshold="auto",
+        tracer=SpanBuffer(),
+        trace_context=TraceContext.root(seed),
+    )
+    traced_s = _best_time(lambda: traced_service.process_batch(clean), n_repeats)
+    results["process_batch[traced]"] = {
+        "samples_per_sec": batch / traced_s,
+        "batch_latency_s": traced_s,
+        "overhead_vs_uninstrumented": traced_s / off_s,
+    }
+
     span_registry = MetricsRegistry()
 
     def _one_span() -> None:
@@ -120,6 +147,21 @@ def run_bench(
     }
 
     metrics = MetricsRegistry.fold(shards).snapshot()
+
+    expose_s = _best_time(lambda: render_prometheus(metrics), n_repeats)
+    results["metrics_exposition[render]"] = {
+        "samples_per_sec": 1.0 / expose_s,
+        "render_latency_s": expose_s,
+    }
+
+    profiler = MemoryProfiler(MetricsRegistry(), trace_python=False)
+    mem_s = _best_time(lambda: profiler.sample("bench"), n_repeats, n_inner=100)
+    profiler.close()
+    results["mem_sample"] = {
+        "samples_per_sec": 1.0 / mem_s,
+        "sample_latency_s": mem_s,
+    }
+
     summary = {
         "n_batches": 50 * n_shards,
         "n_samples": 256 * 50 * n_shards,

@@ -28,6 +28,12 @@ def test_bench_telemetry_overheads():
     # Python loop per row instead of per batch).
     assert instrumented["overhead_vs_uninstrumented"] < 1.15
 
+    # Trace-context propagation (deterministic span ids on every stage) must
+    # ride along inside the same instrumentation bound — id allocation is one
+    # counter increment and a string format per span.
+    traced = results["process_batch[traced]"]
+    assert traced["overhead_vs_uninstrumented"] < 1.15
+
     # One span is two perf_counter calls plus a histogram observe; anything
     # below ~100k/s would make per-stage tracing a measurable per-batch tax.
     assert results["trace_span[enter_exit]"]["samples_per_sec"] > 1e5
@@ -37,6 +43,16 @@ def test_bench_telemetry_overheads():
     # repeatedly, so it must stay well under a millisecond.
     merge = results[f"registry_merge[shards={payload['config']['n_shards']}]"]
     assert merge["merge_latency_s"] < 0.1
+
+    # A /metrics scrape renders the full folded snapshot; Prometheus default
+    # scrape cadence is 15 s, so anything near interactive is plenty — but a
+    # render that takes longer than 100 ms would stall the scraper thread
+    # noticeably next to the serve loop.
+    assert results["metrics_exposition[render]"]["render_latency_s"] < 0.1
+
+    # One --profile-mem sample is a procfs read plus two metric updates; it
+    # runs once per merged batch, so it must stay far cheaper than a batch.
+    assert results["mem_sample"]["samples_per_sec"] > 1e3
 
     # Report assembly + markdown render runs once per run (or per `serve
     # report` invocation); interactive means well under a second.

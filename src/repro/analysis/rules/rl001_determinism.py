@@ -16,12 +16,16 @@ under the ``repro`` package:
 - wall-clock reads: ``time.time``/``time.time_ns``, ``datetime.now``/
   ``utcnow``/``today``, ``date.today``.  Monotonic timers
   (``perf_counter``/``monotonic``) are measurement, not decision input, and
-  stay legal.
+  stay legal — the heartbeat watchdog behind ``serve --status-port``
+  (:class:`repro.serve.telemetry.statusd.HeartbeatWatchdog`) is the
+  canonical sanctioned use: ``time.monotonic`` measures seconds-since-beat
+  for ``/health`` liveness, never feeds a score or threshold.
 
-Allowlisted modules: ``repro/serve/telemetry/`` (timestamps are the product
-there) and ``repro/utils/timing.py`` (the timing helper itself).  Deliberate
-exceptions elsewhere belong in the committed baseline with a reason, or
-behind an inline ``# reprolint: disable=RL001``.
+Allowlisted modules: ``repro/serve/telemetry/`` (timestamps, spans and the
+heartbeat clock are the product there) and ``repro/utils/timing.py`` (the
+timing helper itself).  Deliberate exceptions elsewhere belong in the
+committed baseline with a reason, or behind an inline
+``# reprolint: disable=RL001``.
 """
 
 from __future__ import annotations

@@ -32,6 +32,7 @@ __all__ = ["TraceCoverageRule", "PIPELINE_STAGES"]
 
 #: stage name -> path suffix of the module that owns the stage.
 PIPELINE_STAGES: dict[str, str] = {
+    "batch": "repro/serve/service.py",
     "quarantine_scan": "repro/serve/service.py",
     "score": "repro/serve/service.py",
     "threshold_update": "repro/serve/service.py",
@@ -43,6 +44,9 @@ PIPELINE_STAGES: dict[str, str] = {
     "refit": "repro/serve/lifecycle/manager.py",
     "gate": "repro/serve/lifecycle/manager.py",
     "registry_publish": "repro/serve/lifecycle/manager.py",
+    "heartbeat": "repro/serve/telemetry/statusd.py",
+    "status_render": "repro/serve/telemetry/statusd.py",
+    "mem_sample": "repro/serve/telemetry/profiling.py",
 }
 
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments.cli all --profile paper --output results/
     python -m repro.experiments.cli serve --dataset wustl_iiot --detector iforest
     python -m repro.experiments.cli registry list --registry ./models
+    python -m repro.experiments.cli trace ./run/trace.jsonl --budget score=50
     python -m repro.experiments.cli lint src/repro --format report
 
 Each experiment prints its formatted table; ``--output`` additionally writes
@@ -93,7 +94,7 @@ def _parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] in ("serve", "registry"):
+    if argv and argv[0] in ("serve", "registry", "trace"):
         # The serving subsystem owns its own argument surface; importing it
         # lazily keeps the experiment-only path light.
         from repro.serve.cli import main as serve_main

@@ -42,11 +42,18 @@ Usage examples::
     repro registry recover --registry ./models
 
     # observability: operator logs, per-stage span traces, and an auditable
-    # run directory (events.jsonl + run_summary.json + report.json/.md);
-    # `serve report` re-renders the report after the fact
+    # run directory (events.jsonl + run_summary.json + trace.jsonl +
+    # report.json/.md); `serve report` re-renders the report after the fact,
+    # `repro trace` analyzes the span tree and gates on per-stage budgets
     repro serve --dataset wustl_iiot --detector iforest --log-level info \
         --trace-file ./trace.jsonl --run-dir ./run --baseline BENCH_inference.json
-    repro serve report ./run
+    repro serve report ./run --budget score=50 --budget-metric p95
+    repro trace ./run/trace.jsonl --view tree --budget batch=100
+
+    # live introspection + continuous memory profiling: /metrics (Prometheus),
+    # /health (heartbeat watchdog + degraded flag), /status (JSON summary)
+    repro serve --dataset wustl_iiot --detector iforest \
+        --status-port 9178 --health-deadline 30 --profile-mem
 
 (``repro`` is the console script registered in ``pyproject.toml``; the same
 commands work as ``python -m repro.experiments.cli ...``.)
@@ -92,13 +99,18 @@ from repro.serve.service import DetectionService, make_registry_reload
 from repro.serve.sinks import JsonlSink, read_events
 from repro.serve.snapshot import read_manifest, save_snapshot
 from repro.serve.telemetry import (
+    HeartbeatWatchdog,
+    MemoryProfiler,
     SpanTracer,
+    StatusServer,
     build_report,
     build_run_summary,
     configure_logging,
     render_run_report,
     write_report_files,
 )
+from repro.serve.telemetry import traceview
+from repro.serve.telemetry.traceview import parse_budget, read_spans
 
 __all__ = ["main", "DETECTOR_FACTORIES"]
 
@@ -238,6 +250,25 @@ def _parser() -> argparse.ArgumentParser:
         "(quarantine scan, scoring, drift check, refit, gate, ...) to PATH",
     )
     serve.add_argument(
+        "--status-port", type=int, default=None, metavar="PORT",
+        help="serve a live introspection endpoint on 127.0.0.1:PORT while "
+        "the stream runs: /metrics (Prometheus text exposition), /health "
+        "(200/503 from the batch heartbeat watchdog and the degraded-mode "
+        "flag) and /status (JSON: epoch, serving version, worker restarts, "
+        "disabled sinks, open shadow trial); PORT 0 picks a free port",
+    )
+    serve.add_argument(
+        "--health-deadline", type=float, default=30.0, metavar="SECONDS",
+        help="with --status-port: /health turns NOT_OK when no batch "
+        "completed within this many seconds (default 30)",
+    )
+    serve.add_argument(
+        "--profile-mem", action="store_true",
+        help="sample RSS + tracemalloc after every merged batch into the "
+        "metrics registry (mem.* gauges, per-stage byte histograms) and a "
+        "'memory' section of run_summary.json",
+    )
+    serve.add_argument(
         "--metrics-every", type=int, default=None, metavar="N",
         help="emit a metrics-snapshot event through the sinks every N scored "
         "batches (periodic MetricsEvent; off by default)",
@@ -267,6 +298,23 @@ def _parser() -> argparse.ArgumentParser:
         "--baseline", type=Path, default=None, metavar="PATH",
         help="BENCH_inference.json for the throughput-vs-baseline check",
     )
+    serve_report.add_argument(
+        "--budget", action="append", default=[], metavar="STAGE=MS",
+        help="per-stage trace latency budget in ms (repeatable); judged "
+        "MET/NOT_MET in the report's Trace section when the run directory "
+        "has a trace.jsonl",
+    )
+    serve_report.add_argument(
+        "--budget-metric", choices=traceview.BUDGET_METRICS, default="p95",
+        help="trace aggregate the budgets are checked against (default: p95)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="analyze span-JSONL trace files: tree, per-stage stats, "
+        "critical paths, latency budgets",
+    )
+    traceview.configure_parser(trace)
 
     registry = sub.add_parser("registry", help="inspect, pin or prune registry contents")
     registry.add_argument(
@@ -343,9 +391,12 @@ _CONFIG_EXCLUDED = (
     "serve_command",
     "alerts",
     "baseline",
+    "health_deadline",
     "log_level",
+    "profile_mem",
     "registry",
     "run_dir",
+    "status_port",
     "trace_file",
 )
 
@@ -403,6 +454,7 @@ def _write_run_artifacts(
     registry: ModelRegistry | None,
     model_name: str | None,
     serving_version: int | None,
+    memory: dict | None = None,
 ) -> None:
     """Write ``run_summary.json`` + ``report.json``/``report.md`` into
     ``args.run_dir`` (the sinks — including ``events.jsonl`` — are already
@@ -431,18 +483,26 @@ def _write_run_artifacts(
         service_report=report.to_dict(),
         metrics=service.metrics_snapshot(),
     )
+    if memory:
+        summary_payload["memory"] = memory
     (run_dir / "run_summary.json").write_text(
         json.dumps(summary_payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
     events_path = run_dir / "events.jsonl"
     events = read_events(events_path) if events_path.is_file() else []
+    # The report only sees the run dir's own trace.jsonl (not an external
+    # --trace-file), so the initial render and `serve report` re-renders
+    # always judge the same data.
+    trace_path = run_dir / "trace.jsonl"
+    trace = read_spans(str(trace_path)) if trace_path.is_file() else None
     payload = build_report(
         report.to_dict(),
         metrics=summary_payload["metrics"],
         events=events,
         run_info=summary_payload,
         baseline=_load_baseline(args.baseline),
+        trace=trace,
     )
     _, md_path = write_report_files(run_dir, payload)
     print(f"run report: {payload['overall']} -> {md_path}")
@@ -450,14 +510,26 @@ def _write_run_artifacts(
 
 def _run_serve_report(args: argparse.Namespace) -> int:
     try:
+        budgets = dict(parse_budget(spec) for spec in args.budget)
+    except ValueError as exc:
+        raise SystemExit(f"--budget: {exc}")
+    try:
         report = render_run_report(
-            args.run_dir, baseline=_load_baseline(args.baseline)
+            args.run_dir,
+            baseline=_load_baseline(args.baseline),
+            trace_budgets=budgets or None,
+            trace_budget_metric=args.budget_metric,
         )
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc))
     print(f"run report: {report['overall']} -> {Path(args.run_dir) / 'report.md'}")
     for section in report["sections"]:
         print(f"  {section['index']}. {section['title']}: {section['verdict']}")
+    if budgets and not any(s["title"] == "Trace" for s in report["sections"]):
+        raise SystemExit(
+            "--budget given but the run directory has no trace.jsonl to "
+            "judge (re-run serve with --run-dir, which traces by default)"
+        )
     return 0 if report["overall"] != "NOT_MET" else 1
 
 
@@ -493,8 +565,16 @@ def _run_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--metrics-every must be at least 1")
     if args.baseline is not None and args.run_dir is None:
         raise SystemExit("--baseline is only used by the --run-dir report")
+    if args.status_port is not None and args.status_port < 0:
+        raise SystemExit("--status-port must be >= 0 (0 picks a free port)")
+    if args.health_deadline <= 0:
+        raise SystemExit("--health-deadline must be positive")
     if args.run_dir is not None:
         args.run_dir.mkdir(parents=True, exist_ok=True)
+        if args.trace_file is None:
+            # Trace into the run dir by default so `serve report` and
+            # `repro trace` find the spans next to the other artifacts.
+            args.trace_file = args.run_dir / "trace.jsonl"
     tracer = SpanTracer(args.trace_file) if args.trace_file is not None else None
     injector: FaultInjector | None = None
     if args.inject_faults:
@@ -696,6 +776,44 @@ def _run_serve(args: argparse.Namespace) -> int:
             tracer=tracer,
             metrics_every=args.metrics_every,
         )
+    profiler: MemoryProfiler | None = None
+    if args.profile_mem:
+        profiler = MemoryProfiler(service.telemetry, tracer=tracer)
+        service.profiler = profiler
+    status_server: StatusServer | None = None
+    if args.status_port is not None:
+        watchdog = HeartbeatWatchdog(args.health_deadline)
+        service.heartbeat = watchdog
+
+        def _status_payload() -> dict:
+            lifecycle_ = getattr(service, "lifecycle", None)
+            return {
+                "mode": (
+                    service.resolved_mode() if args.workers > 1 else "sequential"
+                ),
+                "workers": args.workers,
+                "epoch": int(getattr(service, "epoch_", 0)),
+                "serving_version": serving_version,
+                "n_batches": int(getattr(service, "n_batches_", 0)),
+                "n_samples": int(getattr(service, "n_samples_", 0)),
+                "n_alerts": int(getattr(service, "n_alerts_", 0)),
+                "worker_restarts": int(getattr(service, "n_worker_restarts_", 0)),
+                "disabled_sinks": int(getattr(service, "n_disabled_sinks_", 0)),
+                "shadow_trial_open": bool(
+                    getattr(lifecycle_, "shadow_pending", False)
+                ),
+                "profiling_memory": profiler is not None,
+            }
+
+        status_server = StatusServer(
+            args.status_port,
+            snapshot_fn=service.metrics_snapshot,
+            status_fn=_status_payload,
+            degraded_fn=lambda: bool(getattr(service, "degraded_", False)),
+            watchdog=watchdog,
+        ).start()
+        print(f"status endpoint live at {status_server.url('/status')}")
+
     stream = FlowStream(
         dataset,
         batch_size=args.batch_size,
@@ -704,7 +822,20 @@ def _run_serve(args: argparse.Namespace) -> int:
     )
     if injector is not None:
         stream = injector.corrupt_stream(stream)
-    interrupted = _serve_stream(service, stream)
+    try:
+        interrupted = _serve_stream(service, stream)
+    finally:
+        if status_server is not None:
+            status_server.close()
+    memory: dict | None = None
+    if profiler is not None:
+        profiler.sample("final")
+        memory = profiler.summary()
+        profiler.close()
+        print(
+            f"memory profile: {memory['n_samples']} samples, "
+            f"rss max {memory['rss_max_bytes'] / 1e6:.1f} MB"
+        )
     if tracer is not None:
         tracer.close()
         print(f"{tracer.n_spans} spans traced to {tracer.path}")
@@ -726,6 +857,7 @@ def _run_serve(args: argparse.Namespace) -> int:
                 registry=registry,
                 model_name=model_name,
                 serving_version=serving_version,
+                memory=memory,
             )
         signal_name = "SIGINT" if interrupted == 130 else "SIGTERM"
         print(f"interrupted by {signal_name}; partial report above")
@@ -762,6 +894,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             registry=registry,
             model_name=model_name,
             serving_version=serving_version,
+            memory=memory,
         )
     return 0
 
@@ -878,6 +1011,8 @@ def main(argv: list[str] | None = None) -> int:
         if getattr(args, "serve_command", None) == "report":
             return _run_serve_report(args)
         return _run_serve(args)
+    if args.command == "trace":
+        return traceview.run(args)
     return _run_registry(args)
 
 

@@ -34,7 +34,7 @@ Spec grammar (``repro serve --inject-faults SPEC``)::
     clause   := NAME ['@' param (',' param)*]
     param    := KEY '=' VALUE
     NAME     := 'worker_crash' | 'worker_hang' | 'sink_raise'
-              | 'nan_rows' | 'torn_write'
+              | 'nan_rows' | 'torn_write' | 'stall'
 
     worker_crash@round=K          crash one process worker at round K (once)
     worker_crash@every=N[,shard=S]  crash shard S's worker every N-th round
@@ -43,6 +43,10 @@ Spec grammar (``repro serve --inject-faults SPEC``)::
     nan_rows@rate=P               poison each row with probability P (seeded)
     nan_rows@every=N,rows=J       poison J rows of every N-th batch
     torn_write                    tear the next published registry version
+    stall@batch=K[,seconds=T]     sleep T seconds (default 2) before yielding
+                                  batch K — a stuck producer; trips the
+                                  ``--status-port`` heartbeat watchdog when
+                                  T exceeds ``--health-deadline``
 
 Example: ``worker_crash@every=1;sink_raise@every=1;nan_rows@rate=0.05`` is
 the acceptance chaos mix — one worker killed per round, a sink raising on
@@ -360,7 +364,14 @@ class RaisingSink:
         self.inner.close()
 
 
-_FAULT_NAMES = ("worker_crash", "worker_hang", "sink_raise", "nan_rows", "torn_write")
+_FAULT_NAMES = (
+    "worker_crash",
+    "worker_hang",
+    "sink_raise",
+    "nan_rows",
+    "torn_write",
+    "stall",
+)
 
 
 @dataclass
@@ -392,6 +403,8 @@ class FaultInjector:
     nan_every: int | None = None
     nan_rows: int = 1
     torn_write: bool = False
+    stall_batch: int | None = None
+    stall_seconds: float = 2.0
     spec: str = field(default="", repr=False)
 
     @classmethod
@@ -462,6 +475,15 @@ class FaultInjector:
                 raise ValueError("nan_rows needs exactly one of rate= or every=")
             if self.nan_rate is not None and not 0.0 <= self.nan_rate <= 1.0:
                 raise ValueError("nan_rows rate= must be in [0, 1]")
+        elif name == "stall":
+            self.stall_batch = _pop_int("batch")
+            seconds = _pop_float("seconds")
+            if seconds is not None:
+                self.stall_seconds = seconds
+            if self.stall_batch is None:
+                raise ValueError("stall needs batch=")
+            if self.stall_seconds < 0:
+                raise ValueError("stall seconds= must be non-negative")
         else:  # torn_write
             self.torn_write = True
         if params:
@@ -485,6 +507,11 @@ class FaultInjector:
             parts.append(f"{self.nan_rows} NaN row(s) every {self.nan_every} batch(es)")
         if self.torn_write:
             parts.append("torn registry write")
+        if self.stall_batch is not None:
+            parts.append(
+                f"stream stalls {self.stall_seconds:g}s before batch "
+                f"{self.stall_batch}"
+            )
         return "; ".join(parts) if parts else "no faults armed"
 
     # -- NaN bursts --------------------------------------------------------------
@@ -509,9 +536,14 @@ class FaultInjector:
         """Yield the stream with the armed NaN bursts written into copies.
 
         Tuple items (``FlowStream`` yields ``(X, y)``) keep their shape;
-        only the feature block is copied and poisoned.
+        only the feature block is copied and poisoned.  An armed ``stall``
+        clause sleeps before yielding its batch — modelling a stuck
+        producer so the heartbeat watchdog's NOT_OK flip is testable with a
+        deterministic trigger point.
         """
         for batch_index, item in enumerate(stream):
+            if batch_index == self.stall_batch:
+                time.sleep(self.stall_seconds)
             if isinstance(item, tuple) and len(item) >= 1:
                 X, rest = item[0], item[1:]
             else:

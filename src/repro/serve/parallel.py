@@ -103,9 +103,10 @@ from repro.serve.service import (
     _validate_stream_batch,
 )
 from repro.serve.snapshot import load_snapshot, save_snapshot
+from repro.serve.telemetry.context import TraceContext
 from repro.serve.telemetry.log import get_logger, log_event
 from repro.serve.telemetry.metrics import MetricsEvent, MetricsRegistry
-from repro.serve.telemetry.tracing import SpanTracer, trace_span
+from repro.serve.telemetry.tracing import SpanBuffer, SpanTracer, trace_span
 from repro.utils.timing import Timer
 
 _logger = get_logger("parallel")
@@ -130,6 +131,12 @@ class _ShardState:
     monitor: DriftMonitor | None = None
     rolling: _RingBuffer | None = None
     metrics: MetricsRegistry | None = None
+    #: Shard-local batch/sample counters, shipped so a process worker's
+    #: rebuilt service resumes exactly where the shard left off — keeping
+    #: span ``batch_index`` values identical between thread mode (long-lived
+    #: shard services) and process mode (service rebuilt every round).
+    n_batches: int = 0
+    n_samples: int = 0
 
 
 #: Per-process model cache: (snapshot_path, model).  A coordinated swap
@@ -154,7 +161,12 @@ def _score_round_in_subprocess(
     shard: int = 0,
     attempt: int = 0,
     injector: Any = None,
-) -> tuple[list[tuple[int, BatchResult, np.ndarray | None]], _ShardState]:
+    trace_ctx: TraceContext | None = None,
+) -> tuple[
+    list[tuple[int, BatchResult, np.ndarray | None]],
+    _ShardState,
+    list[dict],
+]:
     """Worker-process entry point: score one shard's slice of one round.
 
     Module-level so it pickles.  Loads the snapshot once per (process, path)
@@ -171,6 +183,15 @@ def _score_round_in_subprocess(
     ``shard`` / ``attempt`` exist for the optional
     :class:`~repro.serve.faults.FaultInjector`, which may kill or hang this
     worker deterministically (first attempt only, so replays succeed).
+
+    With a ``trace_ctx`` (the parent's per-shard fork of the round's
+    ``round_submit`` context, shipped alongside the scalar state) the shard's
+    spans are recorded into a :class:`SpanBuffer` and returned as the third
+    element, so the parent can flush them to the real tracer in shard order.
+    The context ships fresh per submission, so a replayed round allocates the
+    *same* span ids as the failed attempt — spans are idempotent like the
+    results — and replayed spans carry ``"retry": attempt`` so a trace reader
+    can tell a recovery from a duplicate.
     """
     global _WORKER_MODEL, _WORKER_SHADOW
     if injector is not None:
@@ -193,8 +214,15 @@ def _score_round_in_subprocess(
         **service_kwargs,
     )
     service.epoch_ = epoch
+    service.n_batches_ = state.n_batches
+    service.n_samples_ = state.n_samples
     if state.rolling is not None:
         service._rolling = state.rolling
+    buffer: SpanBuffer | None = None
+    if trace_ctx is not None:
+        buffer = SpanBuffer()
+        service.tracer = buffer
+        service.trace_context = trace_ctx
     results = []
     for g, X in items:
         result = service.process_batch(X)
@@ -203,22 +231,33 @@ def _score_round_in_subprocess(
             with trace_span(
                 "shadow_score",
                 metrics=service.telemetry,
+                tracer=buffer,
                 rows=int(X.shape[0]),
                 batch_index=g,
+                context=trace_ctx,
             ):
                 shadow_scores = service._score_micro_batched(X, shadow_model)
         results.append((g, result, shadow_scores))
+    spans: list[dict] = []
+    if buffer is not None:
+        spans = buffer.spans
+        if attempt:
+            for span in spans:
+                span["retry"] = attempt
     # The rolling window only exists for threshold="rolling"; shipping the
     # (otherwise never-read) backing array back and forth every round would
     # pickle rolling_window floats per shard for nothing.
     rolling = (
         service._rolling if service_kwargs.get("threshold") == "rolling" else None
     )
-    return results, _ShardState(
+    state = _ShardState(
         monitor=service.drift_monitor,
         rolling=rolling,
         metrics=service.telemetry,
+        n_batches=service.n_batches_,
+        n_samples=service.n_samples_,
     )
+    return results, state, spans
 
 
 class ShardedDetectionService:
@@ -319,6 +358,7 @@ class ShardedDetectionService:
         fault_injector: Any = None,
         telemetry: MetricsRegistry | None = None,
         tracer: SpanTracer | None = None,
+        trace_context: TraceContext | None = None,
         metrics_every: int | None = None,
     ) -> None:
         if n_workers < 1:
@@ -361,6 +401,13 @@ class ShardedDetectionService:
         self.fault_injector = fault_injector
         self.telemetry = MetricsRegistry() if telemetry is None else telemetry
         self.tracer = tracer
+        if trace_context is None and tracer is not None:
+            trace_context = TraceContext.root()
+        self.trace_context = trace_context
+        # Liveness/profiling hooks (see DetectionService): the watchdog beats
+        # and the profiler samples once per *merged* batch, parent-side.
+        self.heartbeat: Any = None
+        self.profiler: Any = None
         self.metrics_every = metrics_every
         self._m_worker_restarts = self.telemetry.counter(
             "pipeline.worker_restarts", unit="restarts"
@@ -456,7 +503,16 @@ class ShardedDetectionService:
     def _emit(self, event: Any) -> None:
         if not self.sinks:
             return
-        with trace_span("sink_emit", metrics=self.telemetry, tracer=self.tracer):
+        # Root-context placement, exactly like the sequential service's
+        # _emit: shard workers are sinkless, so the parent's merge-time emits
+        # are the only sink_emit spans in any mode — and they all parent to
+        # the trace root.
+        with trace_span(
+            "sink_emit",
+            metrics=self.telemetry,
+            tracer=self.tracer,
+            context=self.trace_context,
+        ):
             disabled = len(emit_resilient(self.sinks, event))
         if disabled:
             self.n_disabled_sinks_ += disabled
@@ -520,6 +576,10 @@ class ShardedDetectionService:
             self.n_samples_ += shard_result.n_samples
             self.n_alerts_ += len(alerts)
             self._latency_total += shard_result.latency_s
+            if self.heartbeat is not None:
+                self.heartbeat.beat()
+            if self.profiler is not None:
+                self.profiler.sample("batch")
             if self.metrics_every and self.n_batches_ % self.metrics_every == 0:
                 self._emit(MetricsEvent(batch_index=g, snapshot=self.metrics_snapshot()))
             yield BatchResult(
@@ -644,8 +704,10 @@ class ShardedDetectionService:
                 with trace_span(
                     "shadow_score",
                     metrics=service.telemetry,
+                    tracer=service.tracer,
                     rows=int(X.shape[0]),
                     batch_index=g,
+                    context=service.trace_context,
                 ):
                     shadow_scores = service._score_micro_batched(
                         X, shadow_detector
@@ -680,24 +742,38 @@ class ShardedDetectionService:
                     metrics=self.telemetry,
                     tracer=self.tracer,
                     rows=sum(int(X.shape[0]) for _, X in round_items),
-                ):
-                    futures = [
-                        pool.submit(
-                            self._score_shard,
-                            self._shard_services[s],
-                            items,
-                            shadow_detector,
+                    context=self.trace_context,
+                ) as round_span:
+                    # Each shard gets a disjoint fork of the round context
+                    # plus a private span buffer: concurrent workers never
+                    # share an id counter, and flushing the buffers in shard
+                    # order keeps the trace file deterministic.
+                    round_ctx = round_span.ctx
+                    buffers: dict[int, SpanBuffer] = {}
+                    futures = []
+                    for s, items in enumerate(shards):
+                        if not items:
+                            continue
+                        service = self._shard_services[s]
+                        if round_ctx is not None:
+                            buffers[s] = SpanBuffer()
+                            service.tracer = buffers[s]
+                            service.trace_context = round_ctx.fork(f"s{s}")
+                        futures.append(
+                            pool.submit(
+                                self._score_shard, service, items, shadow_detector
+                            )
                         )
-                        for s, items in enumerate(shards)
-                        if items
-                    ]
                     for future in futures:
                         self._collect(future.result(), per_batch, shadow_by_batch)
+                    for s in sorted(buffers):
+                        buffers[s].flush_to(self.tracer)
                 with trace_span(
                     "round_merge",
                     metrics=self.telemetry,
                     tracer=self.tracer,
                     rows=sum(r.n_samples for r in per_batch.values()),
+                    context=self.trace_context,
                 ):
                     merged = list(
                         self._merge_round(
@@ -734,6 +810,7 @@ class ShardedDetectionService:
         round_index: int,
         per_batch: dict[int, BatchResult],
         shadow_by_batch: dict[int, np.ndarray],
+        round_ctx: TraceContext | None = None,
     ) -> ProcessPoolExecutor | None:
         """Run one round's shard slices under worker supervision.
 
@@ -747,8 +824,19 @@ class ShardedDetectionService:
         past the budget the service degrades to scoring the remaining slices
         in-parent (sequentially) for the rest of the stream.  Returns the
         (possibly respawned, possibly retired) pool.
+
+        When ``round_ctx`` is set, each shard gets one trace-context fork per
+        *round* (``round_ctx.fork(f"s{s}")``); replays pickle the same
+        untouched fork, so a replayed slice re-allocates the identical span
+        ids (marked ``retry``) instead of minting duplicates.  Only the
+        winning attempt's spans come back, and they are flushed to the parent
+        tracer in shard order once the round settles.
         """
         pending = {s: items for s, items in enumerate(shards) if items}
+        forks: dict[int, TraceContext] = {}
+        round_spans: dict[int, list[dict]] = {}
+        if round_ctx is not None:
+            forks = {s: round_ctx.fork(f"s{s}") for s in pending}
         attempt = 0
         while pending:
             if self.degraded_:
@@ -756,15 +844,21 @@ class ShardedDetectionService:
                 # injector is dropped on purpose — degraded mode is the
                 # recovery of last resort and must always make progress.
                 for s, items in sorted(pending.items()):
-                    results, states[s] = _score_round_in_subprocess(
+                    results, states[s], spans = _score_round_in_subprocess(
                         snapshot_path,
                         self.epoch_,
                         self._service_kwargs,
                         states[s],
                         items,
                         shadow_path,
+                        round_index,
+                        s,
+                        attempt,
+                        None,
+                        forks.get(s),
                     )
                     self._collect(results, per_batch, shadow_by_batch)
+                    round_spans[s] = spans
                 pending.clear()
                 break
             if pool is None:
@@ -789,18 +883,20 @@ class ShardedDetectionService:
                         s,
                         attempt,
                         self.fault_injector,
+                        forks.get(s),
                     )
                 except (BrokenExecutor, OSError) as exc:
                     failed[s] = type(exc).__name__
             for s, future in futures.items():
                 try:
-                    results, states[s] = future.result(
+                    results, states[s], spans = future.result(
                         timeout=self.worker_timeout_s
                     )
                 except (BrokenExecutor, OSError, TimeoutError) as exc:
                     failed[s] = type(exc).__name__
                     continue
                 self._collect(results, per_batch, shadow_by_batch)
+                round_spans[s] = spans
                 del pending[s]
             if failed:
                 # A dead worker poisons the whole pool (BrokenProcessPool on
@@ -853,6 +949,12 @@ class ShardedDetectionService:
                         )
                     )
                 attempt += 1
+        if self.tracer is not None:
+            # Shard order, not completion order: the span *file* is as
+            # deterministic as the span tree.
+            for s in sorted(round_spans):
+                for span in round_spans[s]:
+                    self.tracer.record(span)
         return pool
 
     def _process_multiprocess(self, stream: Iterable[Any]) -> Iterator[BatchResult]:
@@ -905,7 +1007,8 @@ class ShardedDetectionService:
                         metrics=self.telemetry,
                         tracer=self.tracer,
                         rows=sum(int(X.shape[0]) for _, X in round_items),
-                    ):
+                        context=self.trace_context,
+                    ) as round_span:
                         pool = self._supervise_round(
                             pool,
                             snapshot_path,
@@ -915,12 +1018,14 @@ class ShardedDetectionService:
                             round_index,
                             per_batch,
                             shadow_by_batch,
+                            round_span.ctx,
                         )
                     with trace_span(
                         "round_merge",
                         metrics=self.telemetry,
                         tracer=self.tracer,
                         rows=sum(r.n_samples for r in per_batch.values()),
+                        context=self.trace_context,
                     ):
                         merged = list(
                             self._merge_round(

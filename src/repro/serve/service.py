@@ -39,8 +39,9 @@ import numpy as np
 from repro.metrics.thresholds import quantile_threshold
 from repro.serve.drift import DriftMonitor, DriftReport, _RingBuffer
 from repro.serve.faults import QuarantinedRows, emit_resilient, wrap_sinks
+from repro.serve.telemetry.context import TraceContext
 from repro.serve.telemetry.metrics import MetricsRegistry
-from repro.serve.telemetry.tracing import SpanTracer, trace_span
+from repro.serve.telemetry.tracing import SpanBuffer, SpanTracer, trace_span
 from repro.utils.timing import Timer
 
 __all__ = [
@@ -258,9 +259,18 @@ class DetectionService:
         :data:`~repro.serve.telemetry.DISABLED` to switch instrumentation
         off entirely.  ``metrics_snapshot()`` exports the registry.
     tracer:
-        Optional :class:`~repro.serve.telemetry.SpanTracer`; when set, every
-        pipeline-stage span is also appended to its JSONL trace file
-        (``repro serve --trace-file``).
+        Optional :class:`~repro.serve.telemetry.SpanTracer` (or
+        :class:`~repro.serve.telemetry.SpanBuffer` inside shard workers);
+        when set, every pipeline-stage span is also appended to its JSONL
+        trace file (``repro serve --trace-file``).
+    trace_context:
+        Optional :class:`~repro.serve.telemetry.TraceContext` giving every
+        recorded span deterministic ``trace_id``/``span_id``/
+        ``parent_span_id`` fields: each batch runs under one ``batch`` span
+        whose children are the stage spans.  Defaults to a fresh root
+        context whenever a ``tracer`` is attached; shard workers are handed
+        a per-round fork by the sharded service instead, so their batch
+        spans nest under the parent's ``round_submit`` span.
     metrics_every:
         Emit a :class:`~repro.serve.telemetry.MetricsEvent` carrying the
         current metrics snapshot through the sinks every N batches
@@ -282,7 +292,8 @@ class DetectionService:
         lifecycle: Any = None,
         quarantine_wrong_width: bool = False,
         telemetry: MetricsRegistry | None = None,
-        tracer: SpanTracer | None = None,
+        tracer: SpanTracer | SpanBuffer | None = None,
+        trace_context: TraceContext | None = None,
         metrics_every: int | None = None,
     ) -> None:
         if isinstance(threshold, str) and threshold not in ("auto", "rolling"):
@@ -315,6 +326,15 @@ class DetectionService:
         self.quarantine_wrong_width = quarantine_wrong_width
         self.telemetry = MetricsRegistry() if telemetry is None else telemetry
         self.tracer = tracer
+        if trace_context is None and tracer is not None:
+            trace_context = TraceContext.root()
+        self.trace_context = trace_context
+        #: Optional liveness/profiling hooks (``repro serve --status-port`` /
+        #: ``--profile-mem``): the watchdog beats and the profiler samples
+        #: once per completed batch.  Plain attributes so the sharded service
+        #: and the CLI can attach them without widening every signature.
+        self.heartbeat: Any = None
+        self.profiler: Any = None
         self.metrics_every = metrics_every
         # Instrument handles are resolved once: the per-batch path must not
         # pay a registry dict lookup per counter.
@@ -450,7 +470,15 @@ class DetectionService:
         # Span only when there are sinks to pay for: the sharded service's
         # sinkless shard workers record no emit spans, so folding their
         # registries into the sink-owning parent's matches a sequential run.
-        with trace_span("sink_emit", metrics=self.telemetry, tracer=self.tracer):
+        # Emit spans parent to the *root* context, not the current batch: the
+        # sharded parent emits at merge time (outside any batch span), so
+        # root-level sink_emit is the one placement every mode agrees on.
+        with trace_span(
+            "sink_emit",
+            metrics=self.telemetry,
+            tracer=self.tracer,
+            context=self.trace_context,
+        ):
             self.n_disabled_sinks_ += len(emit_resilient(self.sinks, event))
 
     def process_batch(self, X: np.ndarray) -> BatchResult:
@@ -468,7 +496,30 @@ class DetectionService:
         the rolling threshold, the drift monitor, or the lifecycle's refit
         window.  They also do not consume sample indices, so the surviving
         alerts are identical to a run on the stream with those rows deleted.
+
+        The whole batch runs under one ``batch`` span; with a trace context
+        the stage spans inside nest under it, so every batch forms one
+        subtree of the trace in every worker mode.  The heartbeat watchdog
+        and the memory profiler (when attached) fire once per completed
+        batch, outside the span.
         """
+        with trace_span(
+            "batch",
+            metrics=self.telemetry,
+            tracer=self.tracer,
+            batch_index=self.n_batches_,
+            context=self.trace_context,
+        ) as batch_span:
+            result = self._process_batch(X, batch_span)
+        if self.heartbeat is not None:
+            self.heartbeat.beat()
+        if self.profiler is not None:
+            self.profiler.sample("batch")
+        return result
+
+    def _process_batch(self, X: np.ndarray, batch_span: trace_span) -> BatchResult:
+        """The ``batch``-span body: quarantine, score, threshold, drift."""
+        ctx = batch_span.ctx
         if self.quarantine_wrong_width:
             raw = np.asarray(X)
             if (
@@ -491,6 +542,7 @@ class DetectionService:
                 tracer=self.tracer,
                 rows=int(X.shape[0]),
                 batch_index=self.n_batches_,
+                context=ctx,
             ):
                 finite = np.isfinite(X).all(axis=1)
                 if not finite.all():
@@ -520,6 +572,7 @@ class DetectionService:
         shadow_scores: np.ndarray | None = None
         accumulated = self.timer.total
         n_rows = int(X.shape[0])
+        batch_span.rows = n_rows
         with self.timer:
             if n_rows:
                 with trace_span(
@@ -528,6 +581,7 @@ class DetectionService:
                     tracer=self.tracer,
                     rows=n_rows,
                     batch_index=batch_index,
+                    context=ctx,
                 ):
                     scores = self._score_micro_batched(X)
                 # Threshold comes from the window *before* this batch (else a
@@ -538,6 +592,7 @@ class DetectionService:
                     metrics=self.telemetry,
                     tracer=self.tracer,
                     batch_index=batch_index,
+                    context=ctx,
                 ):
                     threshold = self._current_threshold(scores)
                     self._rolling.extend(scores[:, None])
@@ -551,6 +606,7 @@ class DetectionService:
                         tracer=self.tracer,
                         rows=n_rows,
                         batch_index=batch_index,
+                        context=ctx,
                     ):
                         shadow_scores = self._score_micro_batched(
                             X, shadow_detector
@@ -582,6 +638,7 @@ class DetectionService:
                 tracer=self.tracer,
                 rows=int(scores.size),
                 batch_index=batch_index,
+                context=ctx,
             ):
                 drift_report = self.drift_monitor.update(scores, X)
         # Clean rows feed the refit window *before* any drift reaction: the

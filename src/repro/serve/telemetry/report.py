@@ -10,6 +10,10 @@ the evidence it was judged on.  Sections:
 1. **Throughput** — did the stream complete, and does throughput hold up
    against the committed ``BENCH_inference.json`` baseline entry?
 2. **Latency** — batch p50/p95/p99 and the per-stage span table.
+   (When the run directory carries a ``trace.jsonl``, a **Trace** section
+   follows with per-stage span totals from the trace file, the worst
+   critical path, and MET/NOT_MET verdicts against ``--budget``-style
+   per-stage latency thresholds.)
 3. **Timeline** — ordered alert/drift/quarantine/restart/sink/swap events,
    with checks on degradations (no sink disabled, restart budget intact,
    quarantine fraction bounded).
@@ -241,6 +245,73 @@ def _stage_table(metrics: Mapping[str, Any] | None) -> dict[str, dict]:
     return dict(sorted(table.items()))
 
 
+def _trace_section(
+    trace: Sequence[Mapping[str, Any]],
+    budgets: Mapping[str, float] | None,
+    budget_metric: str,
+) -> dict:
+    """The Trace section: span totals, worst critical path, budget verdicts.
+
+    Only assembled when a trace is present, so trace-free reports (and the
+    golden fixtures locking them) are byte-identical to before.
+    """
+    from .traceview import (  # local import: traceview is presentation-side
+        build_forest,
+        check_budgets,
+        critical_path,
+        stage_aggregate,
+    )
+
+    aggregate = stage_aggregate(trace)
+    roots = build_forest(trace)
+    worst_ms, worst_path = 0.0, []
+    for root in roots:
+        path = critical_path(root)
+        total_ms = sum(node.seconds for node in path) * 1e3
+        if total_ms > worst_ms or not worst_path:
+            worst_ms = total_ms
+            worst_path = [node.stage for node in path]
+    stages = {
+        stage: {
+            "count": int(agg["count"]),
+            "total_s": agg["total"],
+            "p50_s": agg["p50"],
+            "p95_s": agg["p95"],
+            "p99_s": agg["p99"],
+        }
+        for stage, agg in aggregate.items()
+    }
+    checks = [
+        _check(
+            "TR-01",
+            "Trace file parsed into a span tree",
+            bool(trace) and bool(roots),
+            severity="minor",
+            evidence={"n_spans": len(trace), "n_roots": len(roots)},
+        )
+    ]
+    if budgets:
+        verdicts = check_budgets(aggregate, budgets, metric=budget_metric)
+        checks.append(
+            _check(
+                "TR-02",
+                f"Per-stage trace latency budgets met ({budget_metric})",
+                all(v["status"] == "MET" for v in verdicts),
+                evidence={"budgets": verdicts},
+            )
+        )
+    return {
+        "title": "Trace",
+        "checks": checks,
+        "data": {
+            "stages": _round(stages),
+            "critical_path": _round(
+                {"total_ms": worst_ms, "path": worst_path}
+            ),
+        },
+    }
+
+
 def build_report(
     summary: Mapping[str, Any],
     *,
@@ -253,6 +324,9 @@ def build_report(
     min_throughput_fraction: float = 0.5,
     max_quarantined_fraction: float = 0.10,
     max_timeline_events: int = 50,
+    trace: Sequence[Mapping[str, Any]] | None = None,
+    trace_budgets: Mapping[str, float] | None = None,
+    trace_budget_metric: str = "p95",
     generated_at: str | None = None,
     title: str = "Serving run report",
 ) -> dict:
@@ -264,6 +338,10 @@ def build_report(
     section when sink events lack it); ``run_info`` is a
     :func:`build_run_summary` payload; ``baseline`` is a parsed
     ``BENCH_inference.json`` enabling the throughput-vs-baseline check.
+    ``trace`` is a list of span records (``trace.jsonl``); when given, a
+    Trace section with per-stage span totals, the worst critical path and
+    optional ``trace_budgets`` (stage -> ms, judged on
+    ``trace_budget_metric``) is added — a trace-free report is unchanged.
     """
     summary = dict(summary)
     n_batches = int(summary.get("n_batches", 0))
@@ -463,6 +541,8 @@ def build_report(
         {"title": "Lifecycle & shadow", "checks": lifecycle_checks, "data": lifecycle_data},
         {"title": "Reproducibility", "checks": repro_checks, "data": {}},
     ]
+    if trace:
+        sections.insert(2, _trace_section(trace, trace_budgets, trace_budget_metric))
     for index, section in enumerate(sections, start=1):
         section["index"] = index
         section["verdict"] = _section_verdict(section["checks"])
@@ -540,6 +620,13 @@ def render_markdown(report: Mapping[str, Any]) -> str:
                     f" {1e3 * row['p95_s']:.3f} |"
                     f" {1e3 * row['p99_s']:.3f} |"
                 )
+        crit = data.get("critical_path")
+        if crit and crit.get("path"):
+            lines.append("")
+            lines.append(
+                f"- worst critical path: `{' > '.join(crit['path'])}`"
+                f" ({crit.get('total_ms', 0.0):.3f} ms)"
+            )
         entries = data.get("entries")
         if entries is not None:
             lines.append("")
@@ -610,15 +697,22 @@ def render_run_report(
     *,
     baseline: Mapping[str, Any] | None = None,
     history: Sequence[Mapping[str, Any]] = (),
+    trace_budgets: Mapping[str, float] | None = None,
+    trace_budget_metric: str = "p95",
     generated_at: str | None = None,
 ) -> dict:
     """Re-render a run directory's report and rewrite its files.
 
     Backs ``repro serve report <run-dir>``: everything needed is read from
-    ``run_summary.json`` + ``events.jsonl``, so a report can be (re)built
-    long after the serving process exited.
+    ``run_summary.json`` + ``events.jsonl`` (+ ``trace.jsonl`` when the run
+    traced into its run directory), so a report can be (re)built long after
+    the serving process exited.
     """
     run_summary, events = load_run_dir(run_dir)
+    from .traceview import read_spans  # local import, keeps module load light
+
+    trace_path = Path(run_dir) / "trace.jsonl"
+    trace = read_spans(trace_path) if trace_path.is_file() else None
     report = build_report(
         run_summary.get("service_report") or {},
         metrics=run_summary.get("metrics"),
@@ -626,6 +720,9 @@ def render_run_report(
         history=history,
         run_info=run_summary,
         baseline=baseline,
+        trace=trace,
+        trace_budgets=trace_budgets,
+        trace_budget_metric=trace_budget_metric,
         generated_at=generated_at,
     )
     write_report_files(run_dir, report)

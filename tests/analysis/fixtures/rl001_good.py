@@ -16,3 +16,9 @@ def measure(fn):
     start = time.perf_counter()
     fn()
     return time.perf_counter() - start
+
+
+def heartbeat_age(last_beat):
+    # The monotonic heartbeat clock (statusd.HeartbeatWatchdog pattern) is
+    # duration measurement, not decision input — sanctioned under RL001.
+    return time.monotonic() - last_beat

@@ -9,6 +9,8 @@ def trace_span(stage, **kwargs):
 
 
 def run_pipeline(stage_name):
+    with trace_span("batch"):
+        pass
     with trace_span("quarantine_scan"):
         pass
     with trace_span("threshold_update"):

@@ -9,6 +9,8 @@ def trace_span(stage, **kwargs):
 
 
 def run_pipeline():
+    with trace_span("batch"):
+        pass
     with trace_span("quarantine_scan"):
         pass
     with trace_span("score"):
