@@ -126,6 +126,7 @@ def compare_bench(
         ("shadow", "run_lifecycle_bench.py"),
         ("faults", "run_faults_bench.py"),
         ("telemetry", "run_telemetry_bench.py"),
+        ("analysis", "run_analysis_bench.py"),
     ):
         baseline_section = baseline.get(section, {}).get("results", {})
         fresh_section = fresh.get(section)
@@ -148,6 +149,7 @@ def _measure_fresh() -> dict:
     # not a package, so import them by path.
     sys.path.insert(0, str(BENCH_DIR))
     try:
+        import run_analysis_bench
         import run_faults_bench
         import run_inference_bench
         import run_lifecycle_bench
@@ -161,6 +163,7 @@ def _measure_fresh() -> dict:
     payload["shadow"] = run_lifecycle_bench.run_shadow_bench()
     payload["faults"] = run_faults_bench.run_bench()
     payload["telemetry"] = run_telemetry_bench.run_bench()
+    payload["analysis"] = run_analysis_bench.run_bench()
     return payload
 
 

@@ -1,0 +1,43 @@
+"""Benchmark: reprolint full-tree latency and the incremental-cache payoff.
+
+Writes the ``"analysis"`` section of ``BENCH_inference.json`` (the trend
+check compares it across PRs) and pins the acceptance bound that justifies
+the cache's existence: a warm-cache full-tree lint must be at least 5x
+faster than a cold one.  A broken hash comparison, an over-eager
+invalidation, or per-module work leaking into the full-hit path all show up
+here as the speedup collapsing toward 1x.
+"""
+
+from __future__ import annotations
+
+from run_analysis_bench import DEFAULT_OUTPUT, run_bench, write_report
+
+
+def test_bench_analysis_speed():
+    payload = run_bench(n_repeats=2)
+    path = write_report(payload, DEFAULT_OUTPUT, section="analysis")
+    print(f"[analysis section written to {path}]")
+
+    results = payload["results"]
+    for name, entry in results.items():
+        assert entry["samples_per_sec"] > 0.0, name
+
+    # The cache's whole value proposition: a no-change re-lint costs file
+    # hashing plus the finalize passes, never the per-module rule walks.
+    # The real margin is two orders of magnitude; 5x is the acceptance
+    # bound, generous enough to absorb a loaded CI box.
+    warm = results["lint_full[warm_cache]"]
+    assert warm["speedup_vs_cold"] >= 5.0
+
+    # A cold full-tree lint runs in the tier-1 gate and the pre-commit
+    # recipe — developer-facing latency.  The real tree lints at hundreds
+    # of files per second; below ~5/s the gate would be painful enough
+    # that people start skipping it.
+    cold = results["lint_full[cold]"]
+    assert cold["samples_per_sec"] > 5.0
+
+    # Pass 1 (symbol table + import graph + call graph) runs on every cold
+    # lint and is pure ast walking — it must stay far cheaper than the
+    # rule passes it feeds.
+    graph = results["project_graph[build]"]
+    assert graph["build_latency_s"] < 5.0

@@ -1,0 +1,263 @@
+"""Incremental lint cache: skip re-analysis of files that did not change.
+
+The cache stores, per scanned file, the SHA-256 of its source, the display
+paths it imports (from the pass-1 project graph), and the per-module
+findings its last ``check_module`` pass produced (post-suppression,
+pre-baseline).  On the next run:
+
+* a file whose hash matches — and whose transitive imports all match — has
+  its stored findings **reused** without re-running ``check_module``;
+* a changed, added, or removed file dirties itself *and every transitive
+  dependent* (reverse import closure over the stored dependency edges), so
+  cross-module inheritance effects (e.g. RL002 transients declared on a
+  base class in another module) are never served stale;
+* when nothing changed at all — sources, docs, rule set, rule versions —
+  the whole run is reconstructed from the cache without parsing a single
+  file (``finalize`` output is stored as ``cross`` findings);
+* otherwise ``finalize`` hooks always re-run: cross-module contracts are
+  exactly what incremental reuse must not shortcut.
+
+The cache is keyed by a **fingerprint** of the engine's cache-format
+version plus every rule's ``rule_id:version`` pair; bumping a rule's
+``version`` class attribute (required whenever its semantics change)
+invalidates every stored entry at once.  A missing, unreadable, or
+mismatched cache file degrades to a full run — the cache can always be
+deleted safely, and ``--rules`` subset runs bypass it entirely (the CLI
+never wires a cache up for them, and :meth:`LintCache.store` refuses to
+persist subset results as a second line of defence).
+
+The baseline is deliberately **not** part of the cached state: stored
+findings are pre-baseline, and :meth:`cached_result` re-applies the
+baseline passed to the current run, so editing ``.reprolint-baseline.json``
+takes effect immediately even on a full cache hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import LintContext, LintResult
+from repro.analysis.findings import Finding
+
+__all__ = ["CachePlan", "DEFAULT_CACHE_PATH", "LintCache"]
+
+DEFAULT_CACHE_PATH = ".reprolint-cache.json"
+
+#: Bump when the cached payload layout (not a rule) changes semantics.
+_ENGINE_CACHE_VERSION = 1
+_FORMAT_VERSION = 1
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _fingerprint(rules: Sequence | None) -> str:
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = default_rules()
+    parts = [f"engine:{_ENGINE_CACHE_VERSION}"]
+    parts.extend(
+        sorted(f"{r.rule_id}:{getattr(r, 'version', 1)}" for r in rules)
+    )
+    return "|".join(parts)
+
+
+@dataclass(frozen=True)
+class CachePlan:
+    """What :func:`repro.analysis.engine.run_lint` may skip this run."""
+
+    #: Nothing changed — reconstruct the whole result via ``cached_result``.
+    full_hit: bool
+    #: display path -> stored per-module findings, for unchanged files.
+    reuse: dict[str, list[Finding]] | None
+    #: display paths whose ``check_module`` pass must re-run regardless.
+    dirty: set[str] | None
+
+
+class LintCache:
+    """On-disk cache behind ``repro lint`` (``--no-cache`` to opt out)."""
+
+    def __init__(self, path: str | Path = DEFAULT_CACHE_PATH) -> None:
+        self.path = Path(path)
+        self._data = self._load()
+        self._pending: dict | None = None
+        #: Filled by :meth:`plan`; surfaced in ``--verbose`` output.
+        self.last_plan: CachePlan | None = None
+
+    # -- persistence ----------------------------------------------------
+
+    def _load(self) -> dict:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format_version") != _FORMAT_VERSION
+        ):
+            return {}
+        return payload
+
+    def save(self) -> None:
+        """Atomically persist the state prepared by :meth:`store`."""
+        if self._pending is None:
+            return
+        payload = json.dumps(self._pending, indent=2, sort_keys=True) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent or Path(".")), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+        self._data = self._pending
+        self._pending = None
+
+    # -- planning -------------------------------------------------------
+
+    def plan(
+        self,
+        file_entries: Sequence[tuple[Path, str, str]],
+        doc_entries: Sequence[tuple[str, str]],
+        rules: Sequence | None,
+    ) -> CachePlan:
+        """Decide what the current run can reuse from the stored state."""
+        miss = CachePlan(full_hit=False, reuse=None, dirty=None)
+        if rules is not None or self._data.get("fingerprint") != _fingerprint(
+            None
+        ):
+            self.last_plan = miss
+            return miss
+        cached_files: dict = self._data.get("files", {})
+        cached_docs: dict = self._data.get("docs", {})
+
+        current = {display: _sha256(source) for _, display, source in file_entries}
+        changed = {
+            display
+            for display, digest in current.items()
+            if cached_files.get(display, {}).get("sha256") != digest
+        }
+        removed = set(cached_files) - set(current)
+        docs_now = {display: _sha256(text) for display, text in doc_entries}
+        docs_changed = docs_now != cached_docs
+
+        if not changed and not removed and not docs_changed:
+            self.last_plan = CachePlan(full_hit=True, reuse=None, dirty=None)
+            return self.last_plan
+
+        # Reverse import closure over the *stored* dependency edges: a
+        # changed module dirties everything that (transitively) imports it.
+        reverse: dict[str, set[str]] = {}
+        for display, entry in cached_files.items():
+            for dep in entry.get("deps", ()):
+                reverse.setdefault(dep, set()).add(display)
+        dirty = set(changed) | removed
+        frontier = list(dirty)
+        while frontier:
+            for importer in reverse.get(frontier.pop(), ()):
+                if importer not in dirty:
+                    dirty.add(importer)
+                    frontier.append(importer)
+        dirty &= set(current)
+
+        reuse: dict[str, list[Finding]] = {}
+        for display in current:
+            if display in dirty or display not in cached_files:
+                continue
+            reuse[display] = [
+                Finding.from_dict(payload)
+                for payload in cached_files[display].get("findings", ())
+            ]
+        self.last_plan = CachePlan(full_hit=False, reuse=reuse, dirty=dirty)
+        return self.last_plan
+
+    def cached_result(self, baseline=None) -> LintResult:
+        """Reconstruct the last run's result without parsing anything.
+
+        The baseline is re-applied fresh — stored findings are pre-baseline
+        — so baseline edits take effect even on a full hit.
+        """
+        module_findings: dict[str, list[Finding]] = {}
+        for display, entry in sorted(self._data.get("files", {}).items()):
+            module_findings[display] = [
+                Finding.from_dict(payload)
+                for payload in entry.get("findings", ())
+            ]
+        cross_findings = [
+            Finding.from_dict(payload)
+            for payload in self._data.get("cross", ())
+        ]
+        kept: list[Finding] = list(cross_findings)
+        for bucket in module_findings.values():
+            kept.extend(bucket)
+        if baseline is not None:
+            kept = [
+                finding.as_baselined()
+                if baseline.matches(finding)
+                else finding
+                for finding in kept
+            ]
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+        context = LintContext(
+            baseline=baseline,
+            n_files_hint=int(self._data.get("n_files", len(module_findings))),
+        )
+        return LintResult(
+            findings=kept,
+            context=context,
+            module_findings=module_findings,
+            cross_findings=cross_findings,
+        )
+
+    # -- storing --------------------------------------------------------
+
+    def store(
+        self,
+        file_entries: Sequence[tuple[Path, str, str]],
+        doc_entries: Sequence[tuple[str, str]],
+        rules: Sequence | None,
+        result: LintResult,
+    ) -> None:
+        """Prepare the post-run state; :meth:`save` persists it."""
+        if rules is not None:
+            # A --rules subset would store partial findings under the full
+            # fingerprint's shape; refuse rather than poison later runs.
+            self._pending = None
+            return
+        deps_by_display: dict[str, set[str]] = {}
+        project = result.context.project
+        if project is not None:
+            deps_by_display = getattr(project, "module_deps", {}) or {}
+        files: dict[str, dict] = {}
+        for _, display, source in file_entries:
+            files[display] = {
+                "sha256": _sha256(source),
+                "deps": sorted(deps_by_display.get(display, ())),
+                "findings": [
+                    f.to_dict()
+                    for f in result.module_findings.get(display, ())
+                ],
+            }
+        self._pending = {
+            "format_version": _FORMAT_VERSION,
+            "fingerprint": _fingerprint(None),
+            "files": files,
+            "docs": {
+                display: _sha256(text) for display, text in doc_entries
+            },
+            "cross": [f.to_dict() for f in result.cross_findings],
+            "n_files": len(file_entries),
+        }

@@ -1,0 +1,256 @@
+"""Safe autofixes for ``repro lint --fix`` (with ``--dry-run`` diffs).
+
+Only mechanically safe rewrites are automated — every fix either restates
+what the linter already proved or adds scaffolding a human must fill in:
+
+* **RL008 ``__all__`` repair** — entries flagged as unbound are removed,
+  re-exports flagged as missing are added, and the literal block is
+  regenerated in place (sorted when the original list was sorted, double
+  quotes, one-entry-per-line once it outgrows a single line);
+* **suppression scaffolding** (``--fix-suppress RLnnn``) — appends an
+  inline ``# reprolint: disable=RLnnn`` to each line carrying a *new*
+  finding of that rule, merging into an existing disable comment when one
+  is present.  This is deliberately opt-in per rule id: blanket
+  suppression is how linters die;
+* **stale baseline pruning** — baseline entries that no longer match any
+  current finding are dropped (the finding was fixed; keeping the entry
+  would grandfather a future regression at the same spot).
+
+Fixes are planned as :class:`FixEdit` values (full before/after file
+contents), so ``--dry-run`` can render unified diffs without touching the
+tree and ``apply_fixes`` is a plain write loop.  Planning from a lint
+result and re-linting after application is idempotent by construction:
+once a fix lands, the finding that produced it is gone.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import FORMAT_VERSION, Baseline
+from repro.analysis.engine import LintResult
+from repro.analysis.findings import Finding
+
+__all__ = ["FixEdit", "apply_fixes", "plan_fixes", "render_diff"]
+
+_MISSING_EXPORT_RE = re.compile(r"^'([^']+)' is re-exported from inside")
+_UNBOUND_ENTRY_RE = re.compile(r"^`__all__` lists '([^']+)' but no such name")
+_DISABLE_RE = re.compile(r"#\s*reprolint:\s*disable(?:=([A-Za-z0-9_,\s]+))?")
+_MAX_SINGLE_LINE = 79
+
+
+@dataclass(frozen=True)
+class FixEdit:
+    """One whole-file rewrite, plus a human-readable note per change."""
+
+    path: Path
+    display: str
+    before: str
+    after: str
+    notes: tuple[str, ...]
+
+
+def _rewrite_all_block(source: str, add: set[str], remove: set[str]) -> str | None:
+    """Regenerate the ``__all__`` literal with ``add``/``remove`` applied."""
+    tree = ast.parse(source)
+    stmt = None
+    for candidate in tree.body:
+        if isinstance(candidate, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in candidate.targets
+        ):
+            stmt = candidate
+            break
+        if (
+            isinstance(candidate, ast.AnnAssign)
+            and isinstance(candidate.target, ast.Name)
+            and candidate.target.id == "__all__"
+        ):
+            stmt = candidate
+            break
+    if stmt is None or stmt.value is None:
+        return None
+    value = stmt.value
+    if not isinstance(value, (ast.List, ast.Tuple)) or not all(
+        isinstance(e, ast.Constant) and isinstance(e.value, str)
+        for e in value.elts
+    ):
+        return None  # non-literal __all__ needs a human
+    entries = [e.value for e in value.elts]
+    new_entries = [e for e in entries if e not in remove]
+    new_entries.extend(sorted(a for a in add if a not in new_entries))
+    if entries == sorted(entries):
+        new_entries = sorted(new_entries)
+    single = "__all__ = [" + ", ".join(f'"{e}"' for e in new_entries) + "]"
+    if len(single) <= _MAX_SINGLE_LINE:
+        block = [single]
+    else:
+        block = ["__all__ = ["]
+        block.extend(f'    "{e}",' for e in new_entries)
+        block.append("]")
+    lines = source.splitlines()
+    end = stmt.end_lineno if stmt.end_lineno is not None else stmt.lineno
+    lines[stmt.lineno - 1 : end] = block
+    return "\n".join(lines) + ("\n" if source.endswith("\n") else "")
+
+
+def _add_suppression(line: str, rule_id: str) -> str:
+    match = _DISABLE_RE.search(line)
+    if match is None:
+        return f"{line.rstrip()}  # reprolint: disable={rule_id}"
+    spec = match.group(1)
+    if spec is None:
+        return line  # bare disable already covers every rule
+    rules = [part.strip() for part in spec.split(",") if part.strip()]
+    if rule_id.upper() in {r.upper() for r in rules}:
+        return line
+    rules.append(rule_id)
+    start, end = match.span()
+    return line[:start] + f"# reprolint: disable={','.join(rules)}" + line[end:]
+
+
+def _module_for(result: LintResult, display: str):
+    for module in result.context.modules:
+        if module.display_path == display:
+            return module
+    return None
+
+
+def plan_fixes(
+    result: LintResult,
+    *,
+    suppress: Sequence[str] = (),
+    baseline: Baseline | None = None,
+    baseline_path: str | Path | None = None,
+) -> list[FixEdit]:
+    """Plan every applicable fix for ``result``; nothing is written here."""
+    edits: list[FixEdit] = []
+    suppress_ids = {s.upper() for s in suppress}
+
+    by_path: dict[str, list[Finding]] = {}
+    for finding in result.findings:
+        if not finding.baselined:
+            by_path.setdefault(finding.path, []).append(finding)
+
+    for display in sorted(by_path):
+        module = _module_for(result, display)
+        if module is None:
+            continue  # doc finding (README) — never auto-edited
+        source = module.path.read_text(encoding="utf-8")
+        notes: list[str] = []
+
+        add: set[str] = set()
+        remove: set[str] = set()
+        for finding in by_path[display]:
+            if finding.rule != "RL008":
+                continue
+            missing = _MISSING_EXPORT_RE.match(finding.message)
+            if missing is not None:
+                add.add(missing.group(1))
+            unbound = _UNBOUND_ENTRY_RE.match(finding.message)
+            if unbound is not None:
+                remove.add(unbound.group(1))
+        after = source
+        if add or remove:
+            rewritten = _rewrite_all_block(after, add, remove)
+            if rewritten is not None and rewritten != after:
+                after = rewritten
+                for name in sorted(add):
+                    notes.append(f"RL008: added '{name}' to __all__")
+                for name in sorted(remove):
+                    notes.append(f"RL008: removed unbound '{name}' from __all__")
+
+        if suppress_ids:
+            lines = after.splitlines()
+            for finding in sorted(
+                by_path[display], key=lambda f: f.line, reverse=True
+            ):
+                if finding.rule.upper() not in suppress_ids:
+                    continue
+                if not 1 <= finding.line <= len(lines):
+                    continue
+                patched = _add_suppression(lines[finding.line - 1], finding.rule)
+                if patched != lines[finding.line - 1]:
+                    lines[finding.line - 1] = patched
+                    notes.append(
+                        f"{finding.rule}: suppression scaffold at "
+                        f"{display}:{finding.line} — justify or fix, do not ship"
+                    )
+            candidate = "\n".join(lines) + ("\n" if after.endswith("\n") else "")
+            after = candidate
+
+        if after != source:
+            edits.append(
+                FixEdit(
+                    path=module.path,
+                    display=display,
+                    before=source,
+                    after=after,
+                    notes=tuple(notes),
+                )
+            )
+
+    if baseline is not None and baseline_path is not None:
+        stale = [
+            entry
+            for entry in baseline.entries
+            if not any(entry.matches(f) for f in result.findings)
+        ]
+        if stale:
+            keep = [e for e in baseline.entries if e not in stale]
+            before = Path(baseline_path).read_text(encoding="utf-8")
+            after = (
+                json.dumps(
+                    {
+                        "format_version": FORMAT_VERSION,
+                        "findings": [e.to_dict() for e in keep],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            if after != before:
+                edits.append(
+                    FixEdit(
+                        path=Path(baseline_path),
+                        display=str(baseline_path),
+                        before=before,
+                        after=after,
+                        notes=tuple(
+                            f"baseline: pruned stale entry {e.rule} at {e.path} "
+                            f"({e.context})"
+                            for e in stale
+                        ),
+                    )
+                )
+    return edits
+
+
+def render_diff(edits: Iterable[FixEdit]) -> str:
+    """Unified diffs for ``--fix --dry-run`` — what *would* change."""
+    chunks: list[str] = []
+    for edit in edits:
+        diff = difflib.unified_diff(
+            edit.before.splitlines(keepends=True),
+            edit.after.splitlines(keepends=True),
+            fromfile=f"a/{edit.display}",
+            tofile=f"b/{edit.display}",
+        )
+        chunks.append("".join(diff))
+    return "".join(chunks)
+
+
+def apply_fixes(edits: Iterable[FixEdit]) -> int:
+    """Write every planned edit; returns the number of files changed."""
+    n = 0
+    for edit in edits:
+        edit.path.write_text(edit.after, encoding="utf-8")
+        n += 1
+    return n

@@ -48,7 +48,7 @@ def _summary_counts(result: LintResult) -> dict:
         "n_findings": len(result.findings),
         "n_new": len(result.new),
         "n_baselined": len(result.baselined),
-        "n_files": len(result.context.modules),
+        "n_files": result.context.n_files,
         "by_rule": dict(sorted(by_rule.items())),
     }
 

@@ -6,6 +6,35 @@ after every file has been seen, for whole-package contracts).  Rules scope
 themselves by *path shape* — ``repro/serve/`` and friends — rather than by
 import location, so fixture tests can lint an in-memory module under any
 pretend path and the CLI behaves identically on a copied tree.
+
+Writing a new rule
+------------------
+
+1. Create ``rules/rlNNN_<slug>.py``.  The module docstring *is* the
+   contract's specification: say what invariant the rule protects, why the
+   serving stack relies on it, and list the documented false negatives.
+2. Subclass :class:`Rule`; set ``rule_id`` (``"RLNNN"``), ``title``,
+   ``severity`` (``"error"`` or ``"warning"``) and ``false_negatives``.
+3. Implement ``check_module`` for per-file checks, or ``finalize`` for
+   whole-tree contracts.  ``finalize`` rules may consult
+   ``context.project`` — the resolved symbol table / call graph built by
+   :mod:`repro.analysis.project` — and ``context.docs`` for README
+   cross-checks.  A finalize rule that keys on specific home modules must
+   degrade gracefully when only a subtree is scanned (see RL006/RL010:
+   skip the check when the producing side is absent, so ``repro lint
+   one_file.py`` never emits spurious whole-tree findings).
+4. Produce findings via :meth:`Rule.finding` (anchored on a module + node,
+   capturing context qualname and line text for baseline identity) or
+   :meth:`Rule.doc_finding` (anchored on a markdown file).
+5. Register the class in ``rules/__init__.py``'s ``RULE_CLASSES`` and add a
+   ``tests/analysis/fixtures/rlNNN_bad.py`` / ``rlNNN_good.py`` twin plus a
+   ``CASES`` entry in ``tests/analysis/test_rules_fixtures.py`` with exact
+   rule-id + line assertions.  The good twin must stay clean under the
+   *full* rule set, not just the new rule.
+6. Bump the rule's ``version`` class attribute whenever its semantics
+   change: the incremental cache (:mod:`repro.analysis.cache`) keys stored
+   findings on the engine + per-rule versions, so a semantics change
+   invalidates stale cached findings instead of silently replaying them.
 """
 
 from __future__ import annotations
@@ -81,6 +110,9 @@ class Rule:
     severity: str = "error"
     #: One-paragraph statement of what the rule intentionally does NOT catch.
     false_negatives: str = ""
+    #: Bumped on any semantics change; part of the incremental-cache
+    #: fingerprint so stale cached findings are invalidated, not replayed.
+    version: int = 1
 
     def check_module(
         self, module: ParsedModule, context: LintContext

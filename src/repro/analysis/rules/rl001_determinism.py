@@ -43,7 +43,7 @@ from repro.analysis.rules.base import (
     in_repro_package,
 )
 
-__all__ = ["DeterminismRule"]
+__all__ = ["DeterminismRule", "determinism_allowlisted", "iter_determinism_sites"]
 
 #: numpy.random module-level functions that hit the shared global state.
 _NP_GLOBAL_FNS = frozenset(
@@ -109,12 +109,18 @@ def _collect_aliases(tree: ast.Module) -> dict[str, str]:
 
 
 class _Visitor(ScopedVisitor):
-    def __init__(self, rule: "DeterminismRule", module: ParsedModule) -> None:
+    """Collects every nondeterministic-primitive call site in one module.
+
+    Sites are ``(node, qualname, canonical_name, message)`` tuples; RL001
+    turns them into findings directly, while RL012 uses them as taint seeds
+    for call-graph propagation.
+    """
+
+    def __init__(self, module: ParsedModule) -> None:
         super().__init__()
-        self.rule = rule
         self.module = module
         self.aliases = _collect_aliases(module.tree)
-        self.findings: list[Finding] = []
+        self.sites: list[tuple[ast.Call, str, str, str]] = []
 
     def _canonical(self, node: ast.expr) -> str | None:
         dotted = dotted_name(node)
@@ -157,9 +163,27 @@ class _Visitor(ScopedVisitor):
                 "must be replayable (monotonic timers are fine for timing)"
             )
         if message is not None:
-            self.findings.append(
-                self.rule.finding(self.module, node, message, context=self.qualname)
-            )
+            self.sites.append((node, self.qualname, name, message))
+
+
+def iter_determinism_sites(
+    module: ParsedModule,
+) -> list[tuple[ast.Call, str, str, str]]:
+    """Every RL001-primitive call site in ``module``.
+
+    Returns ``(call_node, enclosing_qualname, canonical_name, message)``
+    tuples regardless of allowlisting — callers apply their own scoping.
+    """
+    visitor = _Visitor(module)
+    visitor.visit(module.tree)
+    return visitor.sites
+
+
+def determinism_allowlisted(module: ParsedModule) -> bool:
+    """True for modules where wall-clock/RNG primitives are sanctioned."""
+    return has_consecutive_parts(module, "serve", "telemetry") or (
+        module.display_path.endswith("utils/timing.py")
+    )
 
 
 class DeterminismRule(Rule):
@@ -172,16 +196,12 @@ class DeterminismRule(Rule):
         "helper function is not flagged."
     )
 
-    def _allowlisted(self, module: ParsedModule) -> bool:
-        return has_consecutive_parts(module, "serve", "telemetry") or (
-            module.display_path.endswith("utils/timing.py")
-        )
-
     def check_module(
         self, module: ParsedModule, context: LintContext
     ) -> Iterable[Finding]:
-        if not in_repro_package(module) or self._allowlisted(module):
+        if not in_repro_package(module) or determinism_allowlisted(module):
             return ()
-        visitor = _Visitor(self, module)
-        visitor.visit(module.tree)
-        return visitor.findings
+        return [
+            self.finding(module, node, message, context=qualname)
+            for node, qualname, _name, message in iter_determinism_sites(module)
+        ]

@@ -1,0 +1,186 @@
+"""RL011 — CLI↔docs sync: documented flags must exist, help text included.
+
+The CLIs (``repro serve``/``registry``/``trace``/``lint`` and the
+experiments entry point) are documented twice outside their parsers: README
+fenced code blocks show invocations, and ``--help`` epilog/help strings
+cross-reference other flags.  Both rot silently when a flag is renamed.
+This rule collects the **registered flag universe** — every constant
+option string passed to an ``add_argument(...)`` call anywhere in the
+scanned tree — then checks:
+
+1. every ``--flag`` token on a ``repro``-invoking line inside a README
+   fenced code block resolves to a registered flag (``--help`` is builtin);
+2. every ``--flag`` token inside an ``epilog=``/``description=``/``help=``
+   string of an argparse call resolves to a registered flag.
+
+Both checks degrade gracefully on subtree scans (the RL006 pattern): a doc
+line is only checked when the *home module* of the subcommand it invokes —
+``repro lint`` → ``repro/analysis/cli.py``, ``repro serve``/``registry``/
+``trace`` → ``repro/serve/cli.py``, anything else (and ``-m repro.x.y``
+invocations, mapped from the dotted path) → ``repro/experiments/cli.py`` —
+is part of the scan, and help-string checks only run in modules that
+register flags themselves.  README lines outside fenced blocks, and fenced
+lines that are not ``repro`` invocations (e.g. ``python benchmarks/...``
+one-offs), are ignored on purpose: prose may mention hypothetical flags,
+and non-``repro`` tools have their own docs.
+
+Documented false negatives: flags built dynamically (``add_argument(name)``)
+are invisible; positional argument names are not checked; a doc line that
+wraps an invocation across lines is only checked line by line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.engine import LintContext, ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, ScopedVisitor
+
+__all__ = ["CliDocsSyncRule"]
+
+_FLAG_RE = re.compile(r"(?<![\w-])(--[a-zA-Z][a-zA-Z0-9-]*)")
+_REPRO_CMD_RE = re.compile(r"(?:^|\s)repro\s+([a-z][a-z-]*)")
+_REPRO_MODULE_RE = re.compile(r"-m\s+(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)*)")
+_BUILTIN_FLAGS = frozenset({"--help"})
+_DOC_KWARGS = frozenset({"epilog", "description", "help"})
+#: subcommand -> path suffix of the module whose parser owns it.
+_SUBCOMMAND_HOMES = {
+    "lint": "repro/analysis/cli.py",
+    "serve": "repro/serve/cli.py",
+    "registry": "repro/serve/cli.py",
+    "trace": "repro/serve/cli.py",
+}
+_DEFAULT_HOME = "repro/experiments/cli.py"
+
+
+def _registered_flags(modules: Iterable[ParsedModule]) -> set[str]:
+    flags: set[str] = set()
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+            ):
+                for arg in node.args:
+                    if (
+                        isinstance(arg, ast.Constant)
+                        and isinstance(arg.value, str)
+                        and arg.value.startswith("-")
+                    ):
+                        flags.add(arg.value)
+    return flags
+
+
+def _invocation_home(line: str) -> str | None:
+    """Path suffix of the module owning the invocation on ``line``, if any."""
+    module_match = _REPRO_MODULE_RE.search(line)
+    if module_match is not None:
+        dotted = module_match.group(1)
+        if dotted == "repro":
+            return _DEFAULT_HOME
+        return dotted.replace(".", "/") + ".py"
+    cmd_match = _REPRO_CMD_RE.search(line)
+    if cmd_match is not None:
+        return _SUBCOMMAND_HOMES.get(cmd_match.group(1), _DEFAULT_HOME)
+    return None
+
+
+def _fenced_repro_lines(text: str) -> Iterable[tuple[int, str, str]]:
+    """(lineno, line, home suffix) for repro invocations inside ``` fences."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            home = _invocation_home(line)
+            if home is not None:
+                yield lineno, line, home
+
+
+class _HelpStringScan(ScopedVisitor):
+    """Collect flag tokens from epilog/description/help string literals."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (flag token, node, qualname)
+        self.mentions: list[tuple[str, ast.AST, str]] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            if keyword.arg in _DOC_KWARGS:
+                for text, anchor in _string_parts(keyword.value):
+                    for match in _FLAG_RE.finditer(text):
+                        self.mentions.append(
+                            (match.group(1), anchor, self.qualname)
+                        )
+        self.generic_visit(node)
+
+
+def _string_parts(node: ast.expr) -> list[tuple[str, ast.AST]]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [(node.value, node)]
+    if isinstance(node, ast.JoinedStr):
+        parts: list[tuple[str, ast.AST]] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append((value.value, value))
+        return parts
+    return []
+
+
+class CliDocsSyncRule(Rule):
+    rule_id = "RL011"
+    title = "README and --help flag references resolve to registered flags"
+    severity = "error"
+    false_negatives = (
+        "Dynamically built option strings are invisible, positionals are "
+        "not checked, and multi-line invocations in docs are matched line "
+        "by line."
+    )
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        flags = _registered_flags(context.modules)
+        if not flags:
+            return ()
+        known = flags | _BUILTIN_FLAGS
+        scanned = [m.display_path for m in context.modules]
+        findings: list[Finding] = []
+        for display, text in context.docs:
+            for lineno, line, home in _fenced_repro_lines(text):
+                if not any(path.endswith(home) for path in scanned):
+                    continue  # the invoked CLI's home module is not in scan
+                for match in _FLAG_RE.finditer(line):
+                    flag = match.group(1)
+                    if flag not in known:
+                        findings.append(
+                            self.doc_finding(
+                                display,
+                                lineno,
+                                f"documented flag `{flag}` is not registered "
+                                "by any scanned CLI; fix the doc or register "
+                                "the flag",
+                            )
+                        )
+        for module in context.modules:
+            if not _registered_flags([module]):
+                continue  # not a parser module; its strings are prose
+            scan = _HelpStringScan()
+            scan.visit(module.tree)
+            for flag, node, qualname in scan.mentions:
+                if flag not in known:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"help text references `{flag}`, which is not "
+                            "registered by any scanned CLI",
+                            context=qualname,
+                        )
+                    )
+        return findings

@@ -824,6 +824,17 @@ def _run_serve(args: argparse.Namespace) -> int:
         stream = injector.corrupt_stream(stream)
     try:
         interrupted = _serve_stream(service, stream)
+    except BaseException:
+        # An exception out of the stream must not leak the span-file handle
+        # or the tracemalloc hooks: close them before propagating (the
+        # tracer's close truncates any torn trailing line, so the partial
+        # trace stays readable).  The happy path below closes them after
+        # taking the final sample / span count.
+        if profiler is not None:
+            profiler.close()
+        if tracer is not None:
+            tracer.close()
+        raise
     finally:
         if status_server is not None:
             status_server.close()

@@ -838,117 +838,128 @@ class ShardedDetectionService:
         if round_ctx is not None:
             forks = {s: round_ctx.fork(f"s{s}") for s in pending}
         attempt = 0
-        while pending:
-            if self.degraded_:
-                # Past the restart budget: no pool, score in-parent.  The
-                # injector is dropped on purpose — degraded mode is the
-                # recovery of last resort and must always make progress.
+        incoming_pool = pool
+        try:
+            while pending:
+                if self.degraded_:
+                    # Past the restart budget: no pool, score in-parent.  The
+                    # injector is dropped on purpose — degraded mode is the
+                    # recovery of last resort and must always make progress.
+                    for s, items in sorted(pending.items()):
+                        results, states[s], spans = _score_round_in_subprocess(
+                            snapshot_path,
+                            self.epoch_,
+                            self._service_kwargs,
+                            states[s],
+                            items,
+                            shadow_path,
+                            round_index,
+                            s,
+                            attempt,
+                            None,
+                            forks.get(s),
+                        )
+                        self._collect(results, per_batch, shadow_by_batch)
+                        round_spans[s] = spans
+                    pending.clear()
+                    break
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=self.n_workers)
+                # submit() itself can raise once a just-submitted shard's worker
+                # dies fast enough to break the pool mid-loop, so submission is
+                # supervised too: shards that never made it in are marked failed
+                # and replayed with the rest.
+                futures: dict[int, Any] = {}
+                failed: dict[int, str] = {}
                 for s, items in sorted(pending.items()):
-                    results, states[s], spans = _score_round_in_subprocess(
-                        snapshot_path,
-                        self.epoch_,
-                        self._service_kwargs,
-                        states[s],
-                        items,
-                        shadow_path,
-                        round_index,
-                        s,
-                        attempt,
-                        None,
-                        forks.get(s),
-                    )
+                    try:
+                        futures[s] = pool.submit(
+                            _score_round_in_subprocess,
+                            snapshot_path,
+                            self.epoch_,
+                            self._service_kwargs,
+                            states[s],
+                            items,
+                            shadow_path,
+                            round_index,
+                            s,
+                            attempt,
+                            self.fault_injector,
+                            forks.get(s),
+                        )
+                    except (BrokenExecutor, OSError) as exc:
+                        failed[s] = type(exc).__name__
+                for s, future in futures.items():
+                    try:
+                        results, states[s], spans = future.result(
+                            timeout=self.worker_timeout_s
+                        )
+                    except (BrokenExecutor, OSError, TimeoutError) as exc:
+                        failed[s] = type(exc).__name__
+                        continue
                     self._collect(results, per_batch, shadow_by_batch)
                     round_spans[s] = spans
-                pending.clear()
-                break
-            if pool is None:
-                pool = ProcessPoolExecutor(max_workers=self.n_workers)
-            # submit() itself can raise once a just-submitted shard's worker
-            # dies fast enough to break the pool mid-loop, so submission is
-            # supervised too: shards that never made it in are marked failed
-            # and replayed with the rest.
-            futures: dict[int, Any] = {}
-            failed: dict[int, str] = {}
-            for s, items in sorted(pending.items()):
-                try:
-                    futures[s] = pool.submit(
-                        _score_round_in_subprocess,
-                        snapshot_path,
-                        self.epoch_,
-                        self._service_kwargs,
-                        states[s],
-                        items,
-                        shadow_path,
-                        round_index,
-                        s,
-                        attempt,
-                        self.fault_injector,
-                        forks.get(s),
+                    del pending[s]
+                if failed:
+                    # A dead worker poisons the whole pool (BrokenProcessPool on
+                    # every later submit) and a hung one never frees its slot:
+                    # either way the pool is torn down and respawned fresh.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                    reason = ", ".join(
+                        f"shard {s}: {err}" for s, err in sorted(failed.items())
                     )
-                except (BrokenExecutor, OSError) as exc:
-                    failed[s] = type(exc).__name__
-            for s, future in futures.items():
-                try:
-                    results, states[s], spans = future.result(
-                        timeout=self.worker_timeout_s
-                    )
-                except (BrokenExecutor, OSError, TimeoutError) as exc:
-                    failed[s] = type(exc).__name__
-                    continue
-                self._collect(results, per_batch, shadow_by_batch)
-                round_spans[s] = spans
-                del pending[s]
-            if failed:
-                # A dead worker poisons the whole pool (BrokenProcessPool on
-                # every later submit) and a hung one never frees its slot:
-                # either way the pool is torn down and respawned fresh.
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = None
-                reason = ", ".join(
-                    f"shard {s}: {err}" for s, err in sorted(failed.items())
-                )
-                if self.n_worker_restarts_ >= self.max_worker_restarts:
-                    self.degraded_ = True
-                    log_event(
-                        logging.ERROR,
-                        "worker_degraded",
-                        logger_=_logger,
-                        round_index=round_index,
-                        shards=tuple(sorted(failed)),
-                        restarts=self.n_worker_restarts_,
-                        reason=reason,
-                    )
-                    self._emit(
-                        WorkerRestart(
+                    if self.n_worker_restarts_ >= self.max_worker_restarts:
+                        self.degraded_ = True
+                        log_event(
+                            logging.ERROR,
+                            "worker_degraded",
+                            logger_=_logger,
                             round_index=round_index,
                             shards=tuple(sorted(failed)),
-                            reason=f"{reason}; restart budget exhausted, "
-                            "degrading to in-parent sequential scoring",
                             restarts=self.n_worker_restarts_,
-                            degraded=True,
-                        )
-                    )
-                else:
-                    self.n_worker_restarts_ += 1
-                    self._m_worker_restarts.inc()
-                    log_event(
-                        logging.WARNING,
-                        "worker_restart",
-                        logger_=_logger,
-                        round_index=round_index,
-                        shards=tuple(sorted(failed)),
-                        restarts=self.n_worker_restarts_,
-                        reason=reason,
-                    )
-                    self._emit(
-                        WorkerRestart(
-                            round_index=round_index,
-                            shards=tuple(sorted(failed)),
                             reason=reason,
-                            restarts=self.n_worker_restarts_,
                         )
-                    )
-                attempt += 1
+                        self._emit(
+                            WorkerRestart(
+                                round_index=round_index,
+                                shards=tuple(sorted(failed)),
+                                reason=f"{reason}; restart budget exhausted, "
+                                "degrading to in-parent sequential scoring",
+                                restarts=self.n_worker_restarts_,
+                                degraded=True,
+                            )
+                        )
+                    else:
+                        self.n_worker_restarts_ += 1
+                        self._m_worker_restarts.inc()
+                        log_event(
+                            logging.WARNING,
+                            "worker_restart",
+                            logger_=_logger,
+                            round_index=round_index,
+                            shards=tuple(sorted(failed)),
+                            restarts=self.n_worker_restarts_,
+                            reason=reason,
+                        )
+                        self._emit(
+                            WorkerRestart(
+                                round_index=round_index,
+                                shards=tuple(sorted(failed)),
+                                reason=reason,
+                                restarts=self.n_worker_restarts_,
+                            )
+                        )
+                    attempt += 1
+        except BaseException:
+            # An unexpected failure (an application error out of
+            # future.result(), a KeyboardInterrupt mid-round) would
+            # otherwise leak a pool this call respawned: the caller's
+            # finally only knows the pool it passed in.  Tear down a
+            # locally created pool before the exception propagates.
+            if pool is not None and pool is not incoming_pool:
+                pool.shutdown(wait=False, cancel_futures=True)
+            raise
         if self.tracer is not None:
             # Shard order, not completion order: the span *file* is as
             # deterministic as the span tree.

@@ -179,11 +179,16 @@ class StatusServer:
         return payload
 
     def close(self) -> None:
-        self._server.shutdown()
-        self._server.server_close()
+        # shutdown() blocks on serve_forever's acknowledgement event, which
+        # is only ever set once the serve loop has run — calling it on a
+        # constructed-but-never-started server deadlocks forever, so it is
+        # gated on the thread actually existing.  server_close() always
+        # runs: the listening socket is bound eagerly in __init__.
         if self._thread is not None:
+            self._server.shutdown()
             self._thread.join(timeout=5.0)
             self._thread = None
+        self._server.server_close()
 
     def __enter__(self) -> "StatusServer":
         return self.start()

@@ -1,0 +1,33 @@
+"""RL009 bad twin: serve-layer resources leaked on some path."""
+
+import fcntl
+from concurrent.futures import ThreadPoolExecutor
+from http.server import HTTPServer
+
+
+def score_once(fn):
+    pool = ThreadPoolExecutor(max_workers=2)  # BAD
+    future = pool.submit(fn)
+    result = future.result()
+    pool.shutdown()
+    return result
+
+
+def read_all(path):
+    handle = open(path)  # BAD
+    data = handle.read()
+    return data
+
+
+class Endpoint:
+    def __init__(self, port, handler):
+        self._server = HTTPServer(("127.0.0.1", port), handler)  # BAD
+
+    def serve(self):
+        self._server.handle_request()
+
+
+def append_entry(handle, line):
+    fcntl.flock(handle, fcntl.LOCK_EX)  # BAD
+    handle.write(line)
+    fcntl.flock(handle, fcntl.LOCK_UN)

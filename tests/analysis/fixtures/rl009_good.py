@@ -1,0 +1,47 @@
+"""RL009 good twin: every acquisition is released on all paths."""
+
+import fcntl
+from concurrent.futures import ThreadPoolExecutor
+from http.server import HTTPServer
+
+
+def score_once(fn):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return pool.submit(fn).result()
+
+
+def read_all(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def score_guarded(fn):
+    pool = ThreadPoolExecutor(max_workers=2)
+    try:
+        return fn(pool)
+    finally:
+        pool.shutdown()
+
+
+def make_pool(n_workers):
+    pool = ThreadPoolExecutor(max_workers=n_workers)
+    return pool  # ownership transfer: the caller owns the shutdown
+
+
+class Endpoint:
+    def __init__(self, port, handler):
+        self._server = HTTPServer(("127.0.0.1", port), handler)
+
+    def serve(self):
+        self._server.handle_request()
+
+    def close(self):
+        self._server.server_close()
+
+
+def append_entry(handle, line):
+    fcntl.flock(handle, fcntl.LOCK_EX)
+    try:
+        handle.write(line)
+    finally:
+        fcntl.flock(handle, fcntl.LOCK_UN)

@@ -1,0 +1,38 @@
+"""RL010 bad twin: event producers and consumers have drifted apart."""
+
+
+def emit_alert(score, row):
+    return {"type": "alert", "score": score, "row": row}
+
+
+def emit_drift(strength):
+    return {"type": "drift", "strength": strength}
+
+
+KNOWN_TYPES = ("alert", "drfit")  # BAD
+
+
+def consume(event):
+    if event.get("type") == "alert":
+        return event["score"]
+    if event.get("type") == "drifty":  # BAD
+        return event["strength"]
+    return None
+
+
+def read_alert(event):
+    if event["type"] == "alert":
+        return event["threshold"]  # BAD
+    return None
+
+
+class Payload:
+    def __init__(self, seed):
+        self.seed = seed
+
+    def to_dict(self):
+        return {"type": "payload", "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(payload["sedd"])  # BAD

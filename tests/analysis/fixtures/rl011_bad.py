@@ -1,0 +1,16 @@
+"""RL011 bad twin: help text references a flag nobody registers."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro fixture",
+        epilog="pair with --real-flag; see also --fake-flag",  # BAD
+    )
+    parser.add_argument("--real-flag", help="does the real thing")
+    parser.add_argument(
+        "--other-flag",
+        help="overrides --fkae-flag when both are given",  # BAD
+    )
+    return parser

@@ -1,0 +1,16 @@
+"""RL011 good twin: every flag the help text mentions is registered."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro fixture",
+        epilog="pair with --real-flag; see also --other-flag",
+    )
+    parser.add_argument("--real-flag", help="does the real thing")
+    parser.add_argument(
+        "--other-flag",
+        help="overrides --real-flag when both are given",
+    )
+    return parser

@@ -1,0 +1,16 @@
+"""RL012 bad twin: a serve path transitively reaches a wall-clock call.
+
+``_jitter`` itself is RL001's finding; RL012 owns the *caller*, which looks
+innocent in isolation but breaks cross-mode determinism two frames away.
+"""
+
+import time
+
+
+def _jitter():
+    return time.time() % 1.0
+
+
+def score_batch(rows):
+    jitter = _jitter()  # BAD
+    return [row + jitter for row in rows]

@@ -1,0 +1,13 @@
+"""RL012 good twin: the jitter source is an explicitly seeded generator."""
+
+import numpy as np
+
+
+def _jitter(rng):
+    return float(rng.uniform())
+
+
+def score_batch(rows, seed):
+    rng = np.random.default_rng(seed)
+    jitter = _jitter(rng)
+    return [row + jitter for row in rows]

@@ -1,0 +1,175 @@
+"""Incremental cache: full-hit equivalence, transitive invalidation, safety.
+
+The cache's contract is "never changes what the linter reports" — every test
+here compares a cached run against a cold run of the same tree.  Invalidation
+is the dangerous half: a changed module must re-lint every transitive
+dependent (cross-module inheritance effects), a rule-version bump must drop
+the whole cache, and baseline edits must take effect even on a full hit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, run_lint
+from repro.analysis.cache import LintCache
+
+BASE = '''\
+"""Base module."""
+
+import time
+
+
+def now_ms():
+    return time.time() * 1000.0
+'''
+
+MIDDLE = '''\
+"""Imports base."""
+
+from repro.pkg.base import now_ms
+
+
+def stamp():
+    return now_ms()
+'''
+
+TOP = '''\
+"""Imports middle only."""
+
+from repro.pkg.middle import stamp
+
+
+def entry():
+    return stamp()
+'''
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    pkg = tmp_path / "src" / "repro" / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "base.py").write_text(BASE)
+    (pkg / "middle.py").write_text(MIDDLE)
+    (pkg / "top.py").write_text(TOP)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def dicts(result):
+    return [f.to_dict() for f in result.findings]
+
+
+class TestFullHit:
+    def test_second_run_is_a_full_hit_with_identical_findings(self, tree):
+        cache_path = tree / "cache.json"
+        cold = run_lint(["src"], cache=LintCache(cache_path))
+        warm_cache = LintCache(cache_path)
+        warm = run_lint(["src"], cache=warm_cache)
+        assert warm_cache.last_plan.full_hit
+        assert dicts(warm) == dicts(cold)
+        assert warm.context.n_files == cold.context.n_files == 4
+
+    def test_baseline_edit_applies_on_a_full_hit(self, tree):
+        cache_path = tree / "cache.json"
+        cold = run_lint(["src"], cache=LintCache(cache_path))
+        flagged = [f for f in cold.findings if f.rule == "RL001"]
+        assert flagged and cold.exit_code == 1
+
+        baseline = Baseline(
+            [
+                BaselineEntry(
+                    rule=f.rule,
+                    path=f.path,
+                    context=f.context,
+                    line_text=f.line_text,
+                    reason="test: grandfathered",
+                )
+                for f in flagged
+            ]
+        )
+        warm_cache = LintCache(cache_path)
+        warm = run_lint(["src"], baseline=baseline, cache=warm_cache)
+        assert warm_cache.last_plan.full_hit
+        assert warm.exit_code == 0
+        assert all(f.baselined for f in warm.findings if f.rule == "RL001")
+
+    def test_doc_change_breaks_the_full_hit(self, tree):
+        readme = tree / "README.md"
+        readme.write_text("# docs\n")
+        cache_path = tree / "cache.json"
+        run_lint(["src"], docs=[readme], cache=LintCache(cache_path))
+        readme.write_text("# docs, edited\n")
+        warm_cache = LintCache(cache_path)
+        run_lint(["src"], docs=[readme], cache=warm_cache)
+        assert not warm_cache.last_plan.full_hit
+
+
+class TestInvalidation:
+    def test_changed_module_dirties_transitive_dependents(self, tree):
+        cache_path = tree / "cache.json"
+        run_lint(["src"], cache=LintCache(cache_path))
+        base = tree / "src" / "repro" / "pkg" / "base.py"
+        base.write_text(BASE + "\n# edited\n")
+        warm_cache = LintCache(cache_path)
+        warm = run_lint(["src"], cache=warm_cache)
+        plan = warm_cache.last_plan
+        assert not plan.full_hit
+        dirty = {d.rsplit("/", 1)[-1] for d in plan.dirty}
+        # middle imports base, top imports middle: all three re-lint.
+        assert dirty == {"base.py", "middle.py", "top.py"}
+        assert {d.rsplit("/", 1)[-1] for d in plan.reuse} == {"__init__.py"}
+        cold = run_lint(["src"])
+        assert dicts(warm) == dicts(cold)
+
+    def test_new_and_removed_files_break_reuse_of_the_tree_shape(self, tree):
+        cache_path = tree / "cache.json"
+        run_lint(["src"], cache=LintCache(cache_path))
+        extra = tree / "src" / "repro" / "pkg" / "extra.py"
+        extra.write_text("def nothing():\n    return 0\n")
+        grown_cache = LintCache(cache_path)
+        grown = run_lint(["src"], cache=grown_cache)
+        assert not grown_cache.last_plan.full_hit
+        assert grown.context.n_files == 5
+
+        extra.unlink()
+        shrunk_cache = LintCache(cache_path)
+        shrunk = run_lint(["src"], cache=shrunk_cache)
+        assert not shrunk_cache.last_plan.full_hit
+        assert shrunk.context.n_files == 4
+
+    def test_rule_version_bump_invalidates_everything(self, tree, monkeypatch):
+        from repro.analysis.rules.rl001_determinism import DeterminismRule
+
+        cache_path = tree / "cache.json"
+        run_lint(["src"], cache=LintCache(cache_path))
+        monkeypatch.setattr(DeterminismRule, "version", 99)
+        warm_cache = LintCache(cache_path)
+        plan_result = run_lint(["src"], cache=warm_cache)
+        assert not warm_cache.last_plan.full_hit
+        assert warm_cache.last_plan.reuse is None
+        assert dicts(plan_result) == dicts(run_lint(["src"]))
+
+    def test_corrupt_cache_file_degrades_to_a_cold_run(self, tree):
+        cache_path = tree / "cache.json"
+        cache_path.write_text("{not json")
+        cache = LintCache(cache_path)
+        result = run_lint(["src"], cache=cache)
+        assert not cache.last_plan.full_hit
+        assert dicts(result) == dicts(run_lint(["src"]))
+        # ...and the bad file was replaced by a valid one.
+        assert json.loads(cache_path.read_text())["format_version"] == 1
+
+
+class TestSubsetSafety:
+    def test_rules_subset_never_touches_the_cache(self, tree):
+        from repro.analysis.rules import rules_by_id
+
+        cache_path = tree / "cache.json"
+        cache = LintCache(cache_path)
+        run_lint(["src"], rules=rules_by_id(["RL003"]), cache=cache)
+        assert not cache.last_plan.full_hit
+        assert not cache_path.exists(), "subset run must not write the cache"

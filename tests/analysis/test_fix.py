@@ -1,0 +1,209 @@
+"""``repro lint --fix``: safe autofixes, dry-run diffs, idempotency.
+
+The contract under test: ``--fix --dry-run`` writes nothing and shows the
+exact unified diff ``--fix`` would apply; applying then re-linting leaves
+the tree clean for the fixed rules; re-applying plans zero edits
+(idempotent); and only mechanically safe rewrites ever run — README
+findings, for instance, are never auto-edited.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, run_lint
+from repro.analysis.cli import main as lint_main
+from repro.analysis.fix import apply_fixes, plan_fixes, render_diff
+
+INIT_BAD = '''\
+"""Pretend package init with a drifted __all__."""
+
+from repro.pkg.helpers import useful
+
+__all__ = ["ghost"]
+'''
+
+HELPERS = '''\
+"""Helpers."""
+
+__all__ = ["useful"]
+
+
+def useful():
+    return 1
+'''
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    pkg = tmp_path / "src" / "repro" / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text(INIT_BAD)
+    (pkg / "helpers.py").write_text(HELPERS)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestAllRepair:
+    def test_fix_adds_missing_and_removes_unbound_entries(self, tree):
+        result = run_lint(["src"])
+        assert {f.rule for f in result.findings} == {"RL008"}
+        edits = plan_fixes(result)
+        assert len(edits) == 1
+        assert apply_fixes(edits) == 1
+        init = (tree / "src" / "repro" / "pkg" / "__init__.py").read_text()
+        assert '__all__ = ["useful"]' in init
+        assert "ghost" not in init
+        assert run_lint(["src"]).findings == []
+
+    def test_fix_is_idempotent(self, tree):
+        apply_fixes(plan_fixes(run_lint(["src"])))
+        assert plan_fixes(run_lint(["src"])) == []
+
+    def test_long_all_is_rendered_one_entry_per_line(self, tree):
+        pkg = tree / "src" / "repro" / "pkg"
+        names = [f"helper_function_number_{i}" for i in range(8)]
+        (pkg / "helpers.py").write_text(
+            "__all__ = " + json.dumps(names) + "\n\n"
+            + "\n\n".join(f"def {n}():\n    return {i}" for i, n in enumerate(names))
+            + "\n"
+        )
+        (pkg / "__init__.py").write_text(
+            "from repro.pkg.helpers import (\n    "
+            + ",\n    ".join(names)
+            + ",\n)\n\n__all__ = []\n"
+        )
+        apply_fixes(plan_fixes(run_lint(["src"])))
+        init = (pkg / "__init__.py").read_text()
+        assert "__all__ = [\n" in init
+        assert all(f'    "{n}",\n' in init for n in names)
+        assert run_lint(["src"]).findings == []
+
+
+class TestDryRun:
+    def test_dry_run_prints_diff_and_writes_nothing(self, tree, capsys):
+        before = (tree / "src" / "repro" / "pkg" / "__init__.py").read_text()
+        code = lint_main(["src", "--fix", "--dry-run", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 1  # findings still present; nothing was applied
+        assert "--- a/" in out and "+++ b/" in out
+        assert '+__all__ = ["useful"]' in out
+        assert (tree / "src" / "repro" / "pkg" / "__init__.py").read_text() == before
+
+    def test_dry_run_requires_fix(self, tree, capsys):
+        assert lint_main(["src", "--dry-run"]) == 2
+        assert "--fix" in capsys.readouterr().err
+
+
+class TestCliFix:
+    def test_fix_then_relint_is_clean(self, tree, capsys):
+        assert lint_main(["src", "--fix", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "RL008: added 'useful'" in out
+        assert "0 new" in out
+        # Second invocation has nothing left to do.
+        assert lint_main(["src", "--fix", "--no-cache"]) == 0
+        assert "nothing to fix" in capsys.readouterr().out
+
+    def test_fix_suppress_scaffolds_inline_suppressions(self, tree, capsys):
+        serve = tree / "src" / "repro" / "serve"
+        serve.mkdir(parents=True)
+        (serve / "fixture_leak.py").write_text(
+            "def read_all(path):\n"
+            "    handle = open(path)\n"
+            "    data = handle.read()\n"
+            "    return data\n"
+        )
+        code = lint_main(
+            ["src", "--fix", "--fix-suppress", "RL009", "--no-cache"]
+        )
+        assert code == 0
+        text = (serve / "fixture_leak.py").read_text()
+        assert "handle = open(path)  # reprolint: disable=RL009" in text
+        assert "justify or fix" in capsys.readouterr().out
+
+    def test_readme_findings_are_never_auto_edited(self, tree):
+        readme = tree / "README.md"
+        readme.write_text(
+            "# pkg\n\n```python\nfrom repro.pkg.helpers import missing_name\n```\n"
+        )
+        result = run_lint(["src"], docs=[readme])
+        doc_findings = [f for f in result.findings if f.path == "README.md"]
+        assert doc_findings, "expected an RL008 README finding"
+        edits = plan_fixes(result)
+        assert all(edit.display != "README.md" for edit in edits)
+
+
+class TestBaselinePruning:
+    def test_stale_entries_are_pruned_and_live_ones_kept(self, tree):
+        baseline_path = tree / ".reprolint-baseline.json"
+        result = run_lint(["src"])
+        live = result.findings[0]
+        baseline_path.write_text(
+            json.dumps(
+                {
+                    "format_version": 1,
+                    "findings": [
+                        {
+                            "rule": live.rule,
+                            "path": live.path,
+                            "context": live.context,
+                            "line_text": live.line_text,
+                            "reason": "kept: still real",
+                        },
+                        {
+                            "rule": "RL001",
+                            "path": "src/repro/pkg/gone.py",
+                            "context": "vanished",
+                            "line_text": "x = time.time()",
+                            "reason": "stale: the file was deleted",
+                        },
+                    ],
+                }
+            )
+            + "\n"
+        )
+        baseline = Baseline.load(baseline_path)
+        result = run_lint(["src"], baseline=baseline)
+        edits = plan_fixes(
+            result, baseline=baseline, baseline_path=baseline_path
+        )
+        prune = [e for e in edits if e.display == str(baseline_path)]
+        assert len(prune) == 1
+        assert "pruned stale entry RL001" in prune[0].notes[0]
+        apply_fixes(prune)
+        payload = json.loads(baseline_path.read_text())
+        reasons = [e["reason"] for e in payload["findings"]]
+        assert reasons == ["kept: still real"]
+
+    def test_diff_renders_for_baseline_edits_too(self, tree):
+        baseline_path = tree / ".reprolint-baseline.json"
+        baseline_path.write_text(
+            json.dumps(
+                {
+                    "format_version": 1,
+                    "findings": [
+                        {
+                            "rule": "RL003",
+                            "path": "src/repro/pkg/gone.py",
+                            "context": "<module>",
+                            "line_text": "import pickle",
+                            "reason": "stale",
+                        }
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        baseline = Baseline.load(baseline_path)
+        result = run_lint(["src"], baseline=baseline)
+        diff = render_diff(
+            plan_fixes(result, baseline=baseline, baseline_path=baseline_path)
+        )
+        assert f"a/{baseline_path}" in diff
+        assert '-      "rule": "RL003"' in diff

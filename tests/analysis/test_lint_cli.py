@@ -136,3 +136,67 @@ def test_help_exits_zero(flag, capsys):
         lint_main(flag)
     assert exc.value.code == 0
     assert "reprolint" in capsys.readouterr().out.lower()
+
+
+class TestChangedFlag:
+    """--changed: the git-diff-scoped pre-commit fast path."""
+
+    def _git(self, tmp_path, *argv):
+        import subprocess
+
+        subprocess.run(
+            ["git", "-c", "user.name=t", "-c", "user.email=t@t", *argv],
+            cwd=tmp_path,
+            check=True,
+            capture_output=True,
+        )
+
+    def test_changed_lints_only_the_modified_files(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        pkg = tmp_path / "src" / "repro" / "pkg"
+        pkg.mkdir(parents=True)
+        clean = pkg / "clean.py"
+        clean.write_text("def fine():\n    return 0\n")
+        touched = pkg / "touched.py"
+        touched.write_text("def also_fine():\n    return 1\n")
+        monkeypatch.chdir(tmp_path)
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-qm", "seed")
+
+        touched.write_text("import pickle\n\n\ndef also_fine():\n    return 1\n")
+        untracked = pkg / "brand_new.py"
+        untracked.write_text("def newcomer():\n    return 2\n")
+
+        code = lint_main(["src", "--changed", "--no-baseline"])
+        out = capsys.readouterr()
+        # Only touched.py + the untracked file were linted (clean.py skipped);
+        # pickle in a non-serve module is legal, so the slice is green.
+        assert "2 changed file(s)" in out.err
+        assert "across 2 file(s)" in out.out
+        assert code == 0
+
+    def test_changed_with_nothing_modified_exits_zero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        pkg = tmp_path / "src" / "repro" / "pkg"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text("def fine():\n    return 0\n")
+        monkeypatch.chdir(tmp_path)
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-qm", "seed")
+
+        assert lint_main(["src", "--changed"]) == 0
+        assert "nothing to lint" in capsys.readouterr().out
+
+    def test_changed_outside_git_falls_back_to_a_full_run(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(plant_bad_tree(tmp_path))
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "definitely-not-a-repo"))
+        code = lint_main(["src", "--changed", "--no-baseline", "--no-cache"])
+        out = capsys.readouterr()
+        assert "linting everything" in out.err
+        assert code == 1  # the full run still sees the planted RL003 tree

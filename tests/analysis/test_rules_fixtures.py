@@ -30,6 +30,10 @@ CASES = {
     "RL006": ("rl006_bad.py", "rl006_good.py", "src/repro/serve/service.py"),
     "RL007": ("rl007_bad.py", "rl007_good.py", "src/repro/serve/parallel.py"),
     "RL008": ("rl008_bad.py", "rl008_good.py", "src/repro/fixturepkg/__init__.py"),
+    "RL009": ("rl009_bad.py", "rl009_good.py", "src/repro/serve/fixture_resources.py"),
+    "RL010": ("rl010_bad.py", "rl010_good.py", "src/repro/serve/fixture_schema.py"),
+    "RL011": ("rl011_bad.py", "rl011_good.py", "src/repro/serve/fixture_cli.py"),
+    "RL012": ("rl012_bad.py", "rl012_good.py", "src/repro/serve/fixture_taint.py"),
 }
 
 

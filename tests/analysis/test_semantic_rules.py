@@ -1,0 +1,198 @@
+"""Cross-module behaviour of the v2 semantic rules (RL010/RL011/RL012).
+
+The fixture twins pin each rule's single-module shape; these tests pin what
+only a multi-module context can show: taint crossing an import boundary
+(RL012), producers and consumers living in different files (RL010), README
+fenced blocks checked against the real flag universe with the home-module
+degradation gate (RL011), and the seed exclusions (inline suppression,
+baseline) that keep grandfathered nondeterminism from cascading.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Baseline, BaselineEntry, LintContext, lint_parsed, parse_module
+from repro.analysis.rules import rules_by_id
+
+HELPER_PATH = "src/repro/utils/fixture_helper.py"
+SCORING_PATH = "src/repro/serve/fixture_scoring.py"
+
+HELPER = '''\
+"""Helper with a buried wall-clock read."""
+
+import time
+
+
+def jitter():
+    return time.time() % 1.0
+'''
+
+SCORING = '''\
+"""Serve-side caller two modules from the nondeterminism."""
+
+from repro.utils.fixture_helper import jitter
+
+
+def score_batch(rows):
+    base = jitter()
+    return [row + base for row in rows]
+'''
+
+
+def run_rules(modules, rule_ids, docs=(), baseline=None):
+    context = LintContext(modules=list(modules), docs=list(docs))
+    result = lint_parsed(
+        context, rules=rules_by_id(rule_ids), baseline=baseline
+    )
+    return result.findings
+
+
+class TestRL012CrossModule:
+    def test_taint_crosses_the_import_boundary(self):
+        findings = run_rules(
+            [parse_module(HELPER, HELPER_PATH), parse_module(SCORING, SCORING_PATH)],
+            ["RL012"],
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "RL012"
+        assert finding.path == SCORING_PATH
+        assert finding.context == "score_batch"
+        assert "time.time" in finding.message
+        assert f"{HELPER_PATH}:7" in finding.message
+        assert SCORING.splitlines()[finding.line - 1].strip() == "base = jitter()"
+
+    def test_suppressed_seed_does_not_cascade(self):
+        silenced = HELPER.replace(
+            "return time.time() % 1.0",
+            "return time.time() % 1.0  # reprolint: disable=RL001",
+        )
+        findings = run_rules(
+            [parse_module(silenced, HELPER_PATH), parse_module(SCORING, SCORING_PATH)],
+            ["RL012"],
+        )
+        assert findings == []
+
+    def test_baselined_seed_does_not_cascade(self):
+        baseline = Baseline(
+            [
+                BaselineEntry(
+                    rule="RL001",
+                    path=HELPER_PATH,
+                    context="jitter",
+                    line_text="return time.time() % 1.0",
+                    reason="fixture: deliberately grandfathered",
+                )
+            ]
+        )
+        findings = run_rules(
+            [parse_module(HELPER, HELPER_PATH), parse_module(SCORING, SCORING_PATH)],
+            ["RL012"],
+            baseline=baseline,
+        )
+        assert findings == []
+
+    def test_telemetry_callers_are_allowlisted(self):
+        telemetry = SCORING.replace("fixture_scoring", "fixture_probe")
+        findings = run_rules(
+            [
+                parse_module(HELPER, HELPER_PATH),
+                parse_module(telemetry, "src/repro/serve/telemetry/fixture_probe.py"),
+            ],
+            ["RL012"],
+        )
+        assert findings == []
+
+
+PRODUCER_PATH = "src/repro/serve/fixture_events.py"
+CONSUMER_PATH = "src/repro/serve/fixture_reader.py"
+
+
+class TestRL010CrossModule:
+    def test_consumer_in_another_module_is_checked(self):
+        producer = parse_module(
+            'def emit(score):\n    return {"type": "alert", "score": score}\n',
+            PRODUCER_PATH,
+        )
+        consumer = parse_module(
+            "def consume(event):\n"
+            '    if event.get("type") == "alrt":\n'
+            '        return event["score"]\n'
+            "    return None\n",
+            CONSUMER_PATH,
+        )
+        findings = run_rules([producer, consumer], ["RL010"])
+        assert [f.path for f in findings] == [CONSUMER_PATH]
+        assert '"alrt"' in findings[0].message
+
+    def test_no_producers_in_scan_means_silence(self):
+        consumer = parse_module(
+            "def consume(event):\n"
+            '    if event.get("type") == "anything":\n'
+            "        return event\n"
+            "    return None\n",
+            CONSUMER_PATH,
+        )
+        assert run_rules([consumer], ["RL010"]) == []
+
+    def test_dynamic_producer_exempts_key_completeness(self):
+        producer = parse_module(
+            "def emit(extra):\n"
+            '    event = {"type": "alert", **extra}\n'
+            "    return event\n",
+            PRODUCER_PATH,
+        )
+        consumer = parse_module(
+            "def consume(event):\n"
+            '    if event.get("type") == "alert":\n'
+            '        return event["anything_goes"]\n'
+            "    return None\n",
+            CONSUMER_PATH,
+        )
+        assert run_rules([producer, consumer], ["RL010"]) == []
+
+
+CLI_PATH = "src/repro/serve/cli.py"
+
+CLI_MODULE = '''\
+"""Pretend serve CLI registering the one real flag."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="repro serve")
+    parser.add_argument("--real-flag", help="the only flag")
+    return parser
+'''
+
+README = """\
+# fixture docs
+
+```bash
+repro serve --real-flag
+repro serve --imaginary-flag
+repro lint --any-flag-at-all
+```
+
+Outside fences, --prose-flag is never checked.
+"""
+
+
+class TestRL011Docs:
+    def test_fenced_doc_line_checked_against_registered_flags(self):
+        findings = run_rules(
+            [parse_module(CLI_MODULE, CLI_PATH)],
+            ["RL011"],
+            docs=[("README.md", README)],
+        )
+        assert len(findings) == 1
+        assert findings[0].path == "README.md"
+        assert "--imaginary-flag" in findings[0].message
+        # `repro lint`'s home module is not in the scan: its line is skipped
+        # (the RL006-style degradation), and prose lines are never checked.
+
+    def test_no_flags_registered_means_silence(self):
+        plain = parse_module("def nothing():\n    return 0\n", CLI_PATH)
+        assert (
+            run_rules([plain], ["RL011"], docs=[("README.md", README)]) == []
+        )

@@ -264,3 +264,42 @@ class TestMemoryProfiler:
 
     def test_read_rss_bytes_is_positive_here(self):
         assert read_rss_bytes() > 0
+
+
+class TestCloseBeforeStart:
+    def test_close_on_never_started_server_returns_promptly(self):
+        """Regression: close() used to call shutdown() unconditionally.
+
+        ``socketserver.shutdown`` blocks on an event only ``serve_forever``
+        ever sets, so closing a constructed-but-never-started server (the
+        path taken when ``serve`` fails between building the status server
+        and starting it) deadlocked forever.  close() must return and
+        release the eagerly bound listening socket.
+        """
+        import socket
+        import threading
+
+        server = StatusServer(0, snapshot_fn=lambda: {})
+        port = server.port
+        done = threading.Event()
+
+        def _close():
+            server.close()
+            done.set()
+
+        worker = threading.Thread(target=_close, daemon=True)
+        worker.start()
+        worker.join(timeout=5.0)
+        assert done.is_set(), "close() on a never-started StatusServer hung"
+        # The listening socket is gone: the port is rebindable again.
+        probe = socket.socket()
+        try:
+            probe.bind(("127.0.0.1", port))
+        finally:
+            probe.close()
+
+    def test_close_after_start_still_idempotent_shape(self):
+        server = StatusServer(0, snapshot_fn=lambda: {}).start()
+        server.close()
+        # A second close on the stopped server must not deadlock either.
+        server.close()

@@ -281,3 +281,44 @@ class TestRetrySpans:
         # The replayed attempt's worker spans say so; the clean run's never do.
         assert any(span.get("retry") for span in crashy)
         assert not any(span.get("retry") for span in clean)
+
+
+class TestCliTracerCleanup:
+    def test_tracer_closed_when_stream_raises(self, tmp_path, monkeypatch):
+        """An exception out of the serve loop must still close the tracer.
+
+        A torn run used to leak the span-file handle (and any tracemalloc
+        hooks): the happy path closed the tracer *after* printing the span
+        count, so an application error escaping ``_serve_stream`` skipped
+        the close entirely.  The CLI now closes tracer and profiler on the
+        exception path before re-raising.
+        """
+        import repro.serve.cli as cli_mod
+
+        closed = []
+        original_close = SpanTracer.close
+
+        def recording_close(self):
+            closed.append(self)
+            return original_close(self)
+
+        def exploding_stream(service, stream):
+            raise RuntimeError("application error escaping the serve loop")
+
+        monkeypatch.setattr(SpanTracer, "close", recording_close)
+        monkeypatch.setattr(cli_mod, "_serve_stream", exploding_stream)
+
+        trace_file = tmp_path / "trace.jsonl"
+        with pytest.raises(RuntimeError, match="escaping the serve loop"):
+            cli_mod.main([
+                "serve",
+                "--dataset", "wustl_iiot",
+                "--scale", "0.0015",
+                "--detector", "hbos",
+                "--trace-file", str(trace_file),
+            ])
+        assert closed, "tracer.close() never ran on the exception path"
+        # close() truncates to the last complete record; a zero-span run may
+        # never have materialised the file, but if it did it must be readable.
+        if trace_file.exists():
+            assert read_spans(str(trace_file)) == []
